@@ -1,0 +1,203 @@
+// Command cohort-bench regenerates the paper's evaluation artifacts: every
+// sub-figure of Fig. 5 and Fig. 6, the mode-switch experiment of Fig. 7,
+// Tables I and II, and the design-choice ablations.
+//
+// Usage:
+//
+//	cohort-bench -run all
+//	cohort-bench -run fig5a,fig6a,fig7
+//	cohort-bench -run table2 -bench fft -scale 0.1
+//	cohort-bench -run all -md > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cohort"
+	"cohort/internal/experiments"
+	"cohort/internal/stats"
+)
+
+var known = []string{
+	"table1", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
+	"fig7", "table2", "nonperfect",
+	"ablation-arbiter", "ablation-transfer", "ablation-timer", "ablation-snoop",
+	"ablation-optimizer", "ablation-l1ways", "ablation-nonblocking", "scalability",
+}
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiments: "+strings.Join(known, ", ")+" or 'all'")
+		scale   = flag.Float64("scale", 0.05, "access-count scale factor")
+		cap     = flag.Int("cap", 4000, "cap on accesses per core after scaling (0 = none)")
+		seed    = flag.Uint64("seed", 42, "trace generator seed")
+		bench   = flag.String("bench", "fft", "benchmark for fig7/table2")
+		benches = flag.String("benches", "", "comma-separated benchmark subset for fig5/fig6/ablations (default: all)")
+		pop     = flag.Int("pop", 20, "GA population")
+		gens    = flag.Int("gens", 16, "GA generations")
+		md      = flag.Bool("md", false, "emit markdown tables")
+	)
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Scale = *scale
+	o.MaxAccessesPerCore = *cap
+	o.Seed = *seed
+	o.GA.Pop, o.GA.Generations = *pop, *gens
+	if *benches != "" {
+		o.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	sel := map[string]bool{}
+	if *runList == "all" {
+		for _, k := range known {
+			sel[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*runList, ",") {
+			k = strings.TrimSpace(k)
+			found := false
+			for _, kk := range known {
+				if kk == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fatal(fmt.Errorf("unknown experiment %q (known: %s)", k, strings.Join(known, ", ")))
+			}
+			sel[k] = true
+		}
+	}
+
+	emit := func(t *stats.Table) {
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	if sel["table1"] {
+		emit(cohort.Table1())
+	}
+	for _, sub := range []struct{ key, scenario string }{
+		{"fig5a", "all-cr"}, {"fig5b", "2cr-2ncr"}, {"fig5c", "1cr-3ncr"},
+	} {
+		if !sel[sub.key] {
+			continue
+		}
+		res, err := experiments.Fig5(o, sub.scenario)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+		fmt.Println(res.Summary())
+		fmt.Println()
+	}
+	for _, sub := range []struct{ key, scenario string }{
+		{"fig6a", "all-cr"}, {"fig6b", "2cr-2ncr"}, {"fig6c", "1cr-3ncr"},
+	} {
+		if !sel[sub.key] {
+			continue
+		}
+		res, err := experiments.Fig6(o, sub.scenario)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+		fmt.Println(res.Summary())
+		fmt.Println()
+	}
+	if sel["fig7"] {
+		res, err := experiments.Fig7(o, *bench, 1.5, 1.8)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range res.Render() {
+			emit(t)
+		}
+		fmt.Println(res.Summary())
+		fmt.Println()
+	}
+	if sel["table2"] {
+		res, err := experiments.Table2(o, *bench)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+	}
+	if sel["nonperfect"] {
+		res, err := experiments.NonPerfect(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+		fmt.Println(res.Summary())
+		fmt.Println()
+	}
+	if sel["ablation-arbiter"] {
+		res, err := experiments.AblationArbiter(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+	}
+	if sel["ablation-transfer"] {
+		res, err := experiments.AblationTransfer(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+	}
+	if sel["ablation-timer"] {
+		res, err := experiments.AblationTimer(o, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+	}
+	if sel["ablation-snoop"] {
+		res, err := experiments.AblationSnoop(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+	}
+	if sel["ablation-l1ways"] {
+		res, err := experiments.AblationL1Ways(o, 100, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+	}
+	if sel["ablation-nonblocking"] {
+		res, err := experiments.AblationNonBlocking(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+	}
+	if sel["ablation-optimizer"] {
+		res, err := experiments.AblationOptimizer(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+	}
+	if sel["scalability"] {
+		res, err := experiments.ExtensionScalability(o, *bench, 50, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res.Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cohort-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,225 @@
+// Facade tests: the public API exposed by package cohort must be sufficient
+// to run the complete workflow a downstream user needs — generate a
+// workload, configure platforms, simulate, analyze, optimize, and regenerate
+// the paper's experiments — without touching internal packages.
+package cohort_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cohort"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	p, err := cohort.ProfileByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Scaled(0.01).Generate(4, 64, 42)
+
+	cfg, err := cohort.NewCoHoRT(4, 1, []cohort.Timer{300, 100, cohort.TimerMSI, cohort.TimerMSI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := cohort.Bounds(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cohort.NewSystem(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range run.Cores {
+		if bounds[i].WCMLBound != cohort.Unbounded && run.Cores[i].TotalLatency > bounds[i].WCMLBound {
+			t.Fatalf("core %d: measured %d above bound %d", i, run.Cores[i].TotalLatency, bounds[i].WCMLBound)
+		}
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	p, _ := cohort.ProfileByName("water")
+	tr := p.Scaled(0.005).Generate(2, 64, 1)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cohort.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalAccesses() != tr.TotalAccesses() {
+		t.Fatalf("round trip lost accesses: %d != %d", got.TotalAccesses(), tr.TotalAccesses())
+	}
+	sum := cohort.SummarizeTrace(got, 64)
+	if len(sum.PerCore) != 2 {
+		t.Fatalf("summary cores = %d", len(sum.PerCore))
+	}
+}
+
+func TestFacadeConfigJSON(t *testing.T) {
+	cfg := cohort.NewPCC(4)
+	data, err := cfg.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cohort.ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Transfer != cohort.TransferViaMemory {
+		t.Fatal("config JSON round trip lost transfer policy")
+	}
+}
+
+func TestFacadeOptimize(t *testing.T) {
+	p, _ := cohort.ProfileByName("fft")
+	tr := p.Scaled(0.01).Generate(4, 64, 5)
+	base := cohort.PaperDefaults(4, 1)
+	prob := &cohort.Problem{
+		Lat:     base.Lat,
+		L1:      base.L1,
+		Streams: tr.Streams,
+		Timed:   []bool{true, false, false, false},
+	}
+	gc := cohort.DefaultGA(1)
+	gc.Pop, gc.Generations = 8, 4
+	res, err := cohort.Optimize(prob, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Timers[0].Timed() || res.Timers[1] != cohort.TimerMSI {
+		t.Fatalf("optimize structure wrong: %v", res.Timers)
+	}
+}
+
+func TestFacadeTable1(t *testing.T) {
+	if !strings.Contains(cohort.Table1().String(), "CoHoRT") {
+		t.Fatal("Table1 missing CoHoRT row")
+	}
+}
+
+func TestFacadeAnalysisHelpers(t *testing.T) {
+	base := cohort.PaperDefaults(4, 1)
+	timers := []cohort.Timer{100, cohort.TimerMSI, cohort.TimerMSI, cohort.TimerMSI}
+	if w := cohort.WCLCoHoRT(base.Lat, timers, 1); w <= 0 {
+		t.Fatalf("WCL = %d", w)
+	}
+	p, _ := cohort.ProfileByName("fft")
+	s := p.Scaled(0.01).Generate(1, 64, 3).Streams[0]
+	thIS, sat := cohort.SaturationTimer(s, base.L1, base.Lat)
+	if thIS < 1 {
+		t.Fatalf("θ_is = %d", thIS)
+	}
+	h, m := cohort.GuaranteedHits(s, base.L1, base.Lat, thIS, base.Lat.SlotWidth())
+	if h < sat || h+m != int64(len(s)) {
+		t.Fatalf("hits %d/%d at θ_is, saturation %d", h, m, sat)
+	}
+}
+
+func TestFacadeHardwareCost(t *testing.T) {
+	cfg := cohort.PaperDefaults(4, 5)
+	rep, err := cohort.HardwareCost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerCore.ModeLUT != 80 {
+		t.Fatalf("5-level LUT = %d bits, want 80", rep.PerCore.ModeLUT)
+	}
+	if ov := rep.Overhead(); ov < 0.03 || ov > 0.05 {
+		t.Fatalf("overhead = %.4f, want ≈3-4%%", ov)
+	}
+}
+
+func TestFacadeScheduling(t *testing.T) {
+	p, _ := cohort.ProfileByName("fft")
+	tr := p.Scaled(0.01).Generate(2, 64, 1)
+	cfg, _ := cohort.NewCoHoRT(2, 1, []cohort.Timer{100, cohort.TimerMSI})
+	bounds, err := cohort.Bounds(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []cohort.Task{
+		{Name: "a", Core: 0, Criticality: 1, Deadline: bounds[0].WCMLBound + 1},
+		{Name: "b", Core: 1, Criticality: 1, Deadline: bounds[1].WCMLBound + 1},
+	}
+	vs, err := cohort.Admission(tasks, bounds, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cohort.SetSchedulable(vs) {
+		t.Fatal("slack deadlines must be schedulable")
+	}
+	mode, _, ok, err := cohort.LowestFeasibleMode(tasks, [][]cohort.CoreBound{bounds}, 1)
+	if err != nil || !ok || mode != 1 {
+		t.Fatalf("LowestFeasibleMode = %d/%v/%v", mode, ok, err)
+	}
+}
+
+func TestFacadeGovernorAndVCD(t *testing.T) {
+	p, _ := cohort.ProfileByName("radix")
+	tr := p.Scaled(0.01).Generate(2, 64, 5)
+	cfg := cohort.PaperDefaults(2, 2)
+	cfg.Cores[0].Criticality = 2
+	cfg.Cores[0].TimerLUT = []cohort.Timer{50, 50}
+	cfg.Cores[1].TimerLUT = []cohort.Timer{800, cohort.TimerMSI}
+	sys, err := cohort.NewSystem(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := cohort.NewVCDRecorder(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetTracer(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetGovernor(cohort.Governor{Core: 0, Window: 2000, Budget: 500}); err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$enddefinitions $end") {
+		t.Fatal("VCD dump missing header")
+	}
+	if len(sys.GovernorHistory()) == 0 {
+		t.Fatal("governor recorded no samples")
+	}
+	if run.Cores[0].Latency.Total() != run.Cores[0].Accesses {
+		t.Fatal("latency histogram does not cover all accesses")
+	}
+}
+
+func TestFacadeMESI(t *testing.T) {
+	cfg := cohort.PaperDefaults(1, 1)
+	cfg.Snoop = cohort.SnoopMESI
+	tr := &cohort.Trace{Name: "t", Streams: []cohort.Stream{{
+		{Addr: 0x1000, Kind: cohort.Read},
+		{Addr: 0x1000, Kind: cohort.Write},
+	}}}
+	sys, err := cohort.NewSystem(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cores[0].Upgrades != 0 || run.Cores[0].Misses != 1 {
+		t.Fatalf("MESI silent upgrade failed: %+v", run.Cores[0])
+	}
+}

@@ -1,0 +1,104 @@
+package cohort_test
+
+import (
+	"fmt"
+
+	"cohort"
+)
+
+// ExampleNewSystem runs the paper's platform on a tiny hand-written workload
+// and prints the per-core hit/miss split.
+func ExampleNewSystem() {
+	tr := &cohort.Trace{
+		Name: "demo",
+		Streams: []cohort.Stream{
+			{
+				{Addr: 0x1000, Kind: cohort.Write},
+				{Addr: 0x1000, Kind: cohort.Read},
+				{Addr: 0x1000, Kind: cohort.Read},
+			},
+			{
+				{Addr: 0x1000, Kind: cohort.Write, Gap: 500},
+			},
+		},
+	}
+	cfg, err := cohort.NewCoHoRT(2, 1, []cohort.Timer{100, cohort.TimerMSI})
+	if err != nil {
+		panic(err)
+	}
+	sys, err := cohort.NewSystem(cfg, tr)
+	if err != nil {
+		panic(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		panic(err)
+	}
+	for i := range run.Cores {
+		fmt.Printf("core %d: %d hits, %d misses\n", i, run.Cores[i].Hits, run.Cores[i].Misses)
+	}
+	// Output:
+	// core 0: 2 hits, 1 misses
+	// core 1: 0 hits, 1 misses
+}
+
+// ExampleWCLCoHoRT evaluates the per-request bound of Equation 1 (plus the
+// work-conserving correction) for the paper's platform.
+func ExampleWCLCoHoRT() {
+	lat := cohort.PaperDefaults(4, 1).Lat
+	timers := []cohort.Timer{300, 20, 20, 20}
+	fmt.Println(cohort.WCLCoHoRT(lat, timers, 0))
+	// Output:
+	// 600
+}
+
+// ExampleGuaranteedHits classifies a short stream with the in-isolation
+// cache analysis: the first access fills, the rest hit within the θ window.
+func ExampleGuaranteedHits() {
+	base := cohort.PaperDefaults(1, 1)
+	s := cohort.Stream{
+		{Addr: 0x40, Kind: cohort.Read},
+		{Addr: 0x40, Kind: cohort.Read},
+		{Addr: 0x40, Kind: cohort.Read, Gap: 500}, // outside a θ=100 window
+	}
+	hits, misses := cohort.GuaranteedHits(s, base.L1, base.Lat, 100, base.Lat.SlotWidth())
+	fmt.Println(hits, misses)
+	// Output:
+	// 1 2
+}
+
+// ExampleOptimize runs the requirement-aware timer optimizer on a generated
+// workload and reports feasibility.
+func ExampleOptimize() {
+	profile, _ := cohort.ProfileByName("fft")
+	tr := profile.Scaled(0.01).Generate(2, 64, 42)
+	base := cohort.PaperDefaults(2, 1)
+	prob := &cohort.Problem{
+		Lat:     base.Lat,
+		L1:      base.L1,
+		Streams: tr.Streams,
+		Timed:   []bool{true, false},
+	}
+	gc := cohort.DefaultGA(1)
+	gc.Pop, gc.Generations = 8, 4
+	res, err := cohort.Optimize(prob, gc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible:", res.Eval.Feasible(), "- core 1 stays MSI:", res.Timers[1] == cohort.TimerMSI)
+	// Output:
+	// feasible: true - core 1 stays MSI: true
+}
+
+// ExampleHardwareCost prints the paper's hardware bill for a five-level
+// platform.
+func ExampleHardwareCost() {
+	cfg := cohort.PaperDefaults(4, 5)
+	rep, err := cohort.HardwareCost(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mode LUT: %d bits, overhead: %.1f%%\n", rep.PerCore.ModeLUT, 100*rep.Overhead())
+	// Output:
+	// mode LUT: 80 bits, overhead: 3.6%
+}

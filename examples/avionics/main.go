@@ -1,0 +1,141 @@
+// Avionics scenario: the DO-178C standard defines five levels of assurance
+// (paper §I) — the regime PENDULUM's two levels cannot certify. This example
+// builds a five-level, five-core platform, derives per-mode timer
+// configurations with the optimizer, uses the schedulability layer to pick
+// the lowest feasible operating mode for a task set, and then lets the
+// closed-loop governor enforce the most critical task's latency budget at
+// run time. It closes with the hardware bill for the five-level Mode-Switch
+// LUT (the paper's "negligible 80 bits").
+//
+// Run with: go run ./examples/avionics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cohort"
+)
+
+const levels = 5
+
+func main() {
+	// A five-core platform: criticality A (5, flight control) down to
+	// E (1, telemetry).
+	names := []string{"flight-ctrl", "engine-mon", "nav", "display", "telemetry"}
+	profile, err := cohort.ProfileByName("cholesky")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := profile.Scaled(0.04).Generate(levels, 64, 99)
+	base := cohort.PaperDefaults(levels, levels)
+
+	// Offline flow of Fig. 2a, once per mode: tasks with criticality ≥ mode
+	// keep timers, the rest degrade to MSI.
+	fmt.Println("per-mode timer configurations (optimization engine):")
+	timersPerMode := make([][]cohort.Timer, levels)
+	boundsPerMode := make([][]cohort.CoreBound, levels)
+	for m := 1; m <= levels; m++ {
+		timed := make([]bool, levels)
+		for i := range timed {
+			timed[i] = levels-i >= m // core i has criticality levels−i
+		}
+		prob := &cohort.Problem{
+			Lat:     base.Lat,
+			L1:      base.L1,
+			Streams: tr.Streams,
+			Timed:   timed,
+		}
+		gc := cohort.DefaultGA(uint64(m))
+		gc.Pop, gc.Generations = 16, 10
+		res, err := cohort.Optimize(prob, gc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		timersPerMode[m-1] = res.Timers
+		boundsPerMode[m-1] = res.Eval.PerCore
+		fmt.Printf("  mode %d: Θ = %v\n", m, res.Timers)
+	}
+
+	// Task set: deadlines leave slack at deep modes but not at mode 1.
+	tasks := make([]cohort.Task, levels)
+	for i := range tasks {
+		deadline := boundsPerMode[levels-1][i].WCMLBound * 2
+		if deadline <= 0 { // degraded cores have Eq.3 bounds; keep positive
+			deadline = 1 << 40
+		}
+		tasks[i] = cohort.Task{
+			Name:        names[i],
+			Core:        i,
+			Criticality: levels - i,
+			Deadline:    deadline,
+		}
+	}
+	// Tighten the flight-control deadline so only a degraded mode fits.
+	tasks[0].Deadline = boundsPerMode[levels-1][0].WCMLBound * 11 / 10
+
+	mode, verdicts, ok, err := cohort.LowestFeasibleMode(tasks, boundsPerMode, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatal("no feasible mode")
+	}
+	fmt.Printf("\nschedulability: lowest feasible mode = %d\n", mode)
+	for _, v := range verdicts {
+		state := "guaranteed"
+		if v.Degraded {
+			state = "degraded to MSI (still running)"
+		}
+		fmt.Printf("  %-12s (level %d): WCET bound %12d, deadline %12d — %s\n",
+			v.Task.Name, v.Task.Criticality, v.WCET, v.Task.Deadline, state)
+	}
+
+	// Run the platform at mode 1 with the governor guarding flight-ctrl; it
+	// escalates at run time when the observed latency budget is blown.
+	cfg := cohort.PaperDefaults(levels, levels)
+	for i := 0; i < levels; i++ {
+		cfg.Cores[i].Criticality = levels - i
+		lut := make([]cohort.Timer, levels)
+		for m := 0; m < levels; m++ {
+			lut[m] = timersPerMode[m][i]
+		}
+		cfg.Cores[i].TimerLUT = lut
+	}
+	sys, err := cohort.NewSystem(cfg, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SetGovernor(cohort.Governor{
+		Core:    0,
+		Window:  5_000,
+		Budget:  3_000, // memory cycles per window for flight-ctrl
+		MaxMode: mode,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	escalations := 0
+	for _, d := range sys.GovernorHistory() {
+		if d.Escalated {
+			escalations++
+		}
+	}
+	fmt.Printf("\ngovernor run: %d samples, %d escalations, final mode %d; all tasks completed:\n",
+		len(sys.GovernorHistory()), escalations, sys.Mode())
+	for i := range run.Cores {
+		fmt.Printf("  %-12s %6d/%d accesses, %5.1f%% hits\n",
+			names[i], run.Cores[i].Accesses, tr.Lambda(i), 100*run.Cores[i].HitRate())
+	}
+
+	cost, err := cohort.HardwareCost(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", cost)
+	fmt.Printf("(the five-level Mode-Switch LUT costs %d bits per core — the paper's \"negligible 80 bits\")\n",
+		cost.PerCore.ModeLUT)
+}

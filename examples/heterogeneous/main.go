@@ -1,0 +1,69 @@
+// Heterogeneous coherence in action: the same shared-data workload runs
+// three times — all cores on snooping MSI, all cores time-based, and the
+// heterogeneous mix CoHoRT enables — to expose the trade-off of Fig. 1:
+// time-based coherence protects the owner's streaming hits at the price of
+// remote-request latency; MSI serves remote requests immediately at the
+// price of the owner's locality. Heterogeneity lets each core pick its side.
+//
+// Run with: go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cohort"
+)
+
+func main() {
+	profile, err := cohort.ProfileByName("radix") // write-heavy, high sharing
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := profile.Scaled(0.05).Generate(4, 64, 7)
+
+	configs := []struct {
+		name   string
+		timers []cohort.Timer
+	}{
+		{"all MSI     ", []cohort.Timer{cohort.TimerMSI, cohort.TimerMSI, cohort.TimerMSI, cohort.TimerMSI}},
+		{"all timed   ", []cohort.Timer{200, 200, 200, 200}},
+		{"heterogeneous", []cohort.Timer{200, 200, cohort.TimerMSI, cohort.TimerMSI}},
+	}
+
+	fmt.Printf("workload %s: %d accesses, 4 cores\n\n", tr.Name, tr.TotalAccesses())
+	fmt.Printf("%-14s %10s %12s %14s %16s\n", "platform", "makespan", "total hits", "c0 max miss", "c0 WCML bound")
+	for _, c := range configs {
+		cfg, err := cohort.NewCoHoRT(4, 1, c.timers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bounds, err := cohort.Bounds(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := cohort.NewSystem(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var hits int64
+		for i := range run.Cores {
+			hits += run.Cores[i].Hits
+		}
+		fmt.Printf("%-14s %10d %12d %14d %16d\n",
+			c.name, run.Cycles, hits, run.Cores[0].MaxMissLatency, bounds[0].WCMLBound)
+	}
+
+	fmt.Println(`
+Reading the table: the all-timed platform maximizes hits but every core's
+worst-case bound carries three co-runner timers; all-MSI minimizes the
+per-request latency but loses the hit guarantees entirely (Eq. 3 prices
+every access as a miss). The heterogeneous mix keeps the timers where the
+locality pays for them and MSI where responsiveness matters — the
+configuration space the optimization engine (see examples/optimizer)
+searches automatically.`)
+}

@@ -1,0 +1,3 @@
+module cohort
+
+go 1.22

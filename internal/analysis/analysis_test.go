@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+var lat = config.Latencies{Hit: 1, Req: 4, Data: 50, DRAM: 100}
+
+func TestWCLCoHoRTHandComputed(t *testing.T) {
+	// N=4, SW=54. All MSI: Eq.1 gives SW + 3·SW = 216; the work-conserving
+	// correction adds another 3·SW: 378.
+	allMSI := []config.Timer{-1, -1, -1, -1}
+	for i := 0; i < 4; i++ {
+		if got := WCLCoHoRT(lat, allMSI, i); got != 378 {
+			t.Fatalf("all-MSI WCL_%d = %d, want 378", i, got)
+		}
+	}
+	// Timers 100/50/-1/-1 for core 0: 378 + (50+54) = 482.
+	timers := []config.Timer{100, 50, -1, -1}
+	if got := WCLCoHoRT(lat, timers, 0); got != 482 {
+		t.Fatalf("WCL_0 = %d, want 482", got)
+	}
+	// For core 2: θ_0 and θ_1 both contribute: 378 + (100+54) + (50+54) = 636.
+	if got := WCLCoHoRT(lat, timers, 2); got != 636 {
+		t.Fatalf("WCL_2 = %d, want 636", got)
+	}
+	// θ = 0 contributes 0 + SW (still a timer-class core); N=2:
+	// SW + SW + SW + (0+54) = 216.
+	withZero := []config.Timer{0, -1}
+	if got := WCLCoHoRT(lat, withZero, 1); got != 216 {
+		t.Fatalf("WCL with θ=0 = %d, want 216", got)
+	}
+}
+
+// Property: WCL is monotone nondecreasing in every other core's timer and
+// does not depend on the core's own timer.
+func TestPropertyWCLMonotone(t *testing.T) {
+	f := func(a, b, c uint8, bump uint8) bool {
+		timers := []config.Timer{config.Timer(a), config.Timer(b), config.Timer(c), -1}
+		base := WCLCoHoRT(lat, timers, 3)
+		timers[1] += config.Timer(bump)
+		if WCLCoHoRT(lat, timers, 3) < base {
+			return false
+		}
+		// Own timer irrelevant.
+		own := []config.Timer{10, 20, 30, 40}
+		w1 := WCLCoHoRT(lat, own, 2)
+		own[2] = 9999
+		return WCLCoHoRT(lat, own, 2) == w1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCLPCC(t *testing.T) {
+	// SW + 2·3·(SW + 50) = 54 + 624 = 678.
+	if got := WCLPCC(lat, 4); got != 678 {
+		t.Fatalf("WCL_PCC = %d, want 678", got)
+	}
+	// PCC is always looser than all-MSI CoHoRT (the handover detour).
+	if WCLPCC(lat, 4) <= WCLCoHoRT(lat, []config.Timer{-1, -1, -1, -1}, 0) {
+		t.Fatal("PCC bound must exceed direct-transfer MSI bound")
+	}
+}
+
+func TestWCLPendulum(t *testing.T) {
+	timers := []config.Timer{500, 500, -1, -1}
+	crit := []bool{true, true, false, false}
+	// N_cr=2, P=108: 2·108 + 54 + 2·(500 + 2·108) — both Cr timers count,
+	// including the requester's own.
+	if got := WCLPendulum(lat, timers, crit, 0); got != 270+2*(500+216) {
+		t.Fatalf("PENDULUM WCL_0 = %d, want 1702", got)
+	}
+	if got := WCLPendulum(lat, timers, crit, 2); got != Unbounded {
+		t.Fatalf("nCr core bound = %d, want Unbounded", got)
+	}
+	// All critical: N_cr=4, P=216: 2·216 + 54 + 4·(500+432) = 4214.
+	all := []config.Timer{500, 500, 500, 500}
+	allCrit := []bool{true, true, true, true}
+	if got := WCLPendulum(lat, all, allCrit, 0); got != 4214 {
+		t.Fatalf("all-Cr PENDULUM WCL = %d, want 4214", got)
+	}
+}
+
+func TestWCMLFormulas(t *testing.T) {
+	if got := WCML(70, 30, 1, 200); got != 70+6000 {
+		t.Fatalf("WCML = %d", got)
+	}
+	if got := WCMLAllMiss(100, 216); got != 21600 {
+		t.Fatalf("WCMLAllMiss = %d", got)
+	}
+}
+
+func geomL1() config.CacheGeometry {
+	return config.CacheGeometry{SizeBytes: 16 * 1024, LineBytes: 64, Ways: 1}
+}
+
+func TestGuaranteedHitsBasics(t *testing.T) {
+	// Access the same line 5 times back to back: fill + 4 guaranteed hits
+	// when θ covers the span, 0 hits when θ = −1.
+	s := trace.Stream{}
+	for i := 0; i < 5; i++ {
+		s = append(s, trace.Access{Addr: 0x1000, Kind: trace.Read})
+	}
+	h, m := GuaranteedHits(s, geomL1(), lat, 100, 216)
+	if h != 4 || m != 1 {
+		t.Fatalf("θ=100: %d hits %d misses, want 4/1", h, m)
+	}
+	h, m = GuaranteedHits(s, geomL1(), lat, config.TimerMSI, 216)
+	if h != 0 || m != 5 {
+		t.Fatalf("MSI: %d hits %d misses, want 0/5", h, m)
+	}
+	h, m = GuaranteedHits(s, geomL1(), lat, config.TimerNoCache, 216)
+	if h != 0 || m != 5 {
+		t.Fatalf("θ=0: %d hits %d misses, want 0/5", h, m)
+	}
+}
+
+func TestGuaranteedHitsWindowExpiry(t *testing.T) {
+	// Second access lands after the θ window: not guaranteed.
+	s := trace.Stream{
+		{Addr: 0x1000, Kind: trace.Read},
+		{Addr: 0x1000, Kind: trace.Read, Gap: 10},
+	}
+	// Window θ=9 < gap 10: the second access is a miss.
+	h, m := GuaranteedHits(s, geomL1(), lat, 9, 216)
+	if h != 0 || m != 2 {
+		t.Fatalf("θ=9: %d/%d, want 0 hits 2 misses", h, m)
+	}
+	// θ=10 covers it.
+	h, m = GuaranteedHits(s, geomL1(), lat, 10, 216)
+	if h != 1 || m != 1 {
+		t.Fatalf("θ=10: %d/%d, want 1 hit 1 miss", h, m)
+	}
+}
+
+func TestGuaranteedHitsUpgradeIsMiss(t *testing.T) {
+	s := trace.Stream{
+		{Addr: 0x1000, Kind: trace.Read},
+		{Addr: 0x1000, Kind: trace.Write},
+		{Addr: 0x1000, Kind: trace.Write},
+	}
+	h, m := GuaranteedHits(s, geomL1(), lat, 500, 216)
+	// read miss, write upgrade (miss), write hit on own M copy.
+	if h != 1 || m != 2 {
+		t.Fatalf("upgrade analysis: %d hits %d misses, want 1/2", h, m)
+	}
+}
+
+func TestGuaranteedHitsSelfConflict(t *testing.T) {
+	// Two lines mapping to the same set of the direct-mapped cache (256
+	// sets, 64B lines): line addresses 256 apart.
+	a := uint64(0x1000)
+	b := a + 256*64
+	s := trace.Stream{
+		{Addr: a, Kind: trace.Read},
+		{Addr: b, Kind: trace.Read},
+		{Addr: a, Kind: trace.Read},
+	}
+	h, m := GuaranteedHits(s, geomL1(), lat, config.TimerMax, 216)
+	if h != 0 || m != 3 {
+		t.Fatalf("self-conflict: %d hits %d misses, want 0/3", h, m)
+	}
+}
+
+// Property: guaranteed hits are monotone nondecreasing in θ on generated
+// workloads.
+func TestPropertyHitsMonotoneInTheta(t *testing.T) {
+	p, _ := trace.ProfileByName("fft")
+	s := p.Scaled(0.01).Generate(1, 64, 5).Streams[0]
+	prev := int64(-1)
+	for _, th := range []config.Timer{1, 4, 16, 64, 256, 1024, 4096, config.TimerMax} {
+		h, m := GuaranteedHits(s, geomL1(), lat, th, 216)
+		if h+m != int64(len(s)) {
+			t.Fatalf("θ=%d: hits+misses=%d, want %d", th, h+m, len(s))
+		}
+		if h < prev {
+			t.Fatalf("hits not monotone at θ=%d: %d < %d", th, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestSaturationTimer(t *testing.T) {
+	p, _ := trace.ProfileByName("water")
+	s := p.Scaled(0.02).Generate(1, 64, 9).Streams[0]
+	thIS, satHits := SaturationTimer(s, geomL1(), lat)
+	if thIS < 1 || thIS > config.TimerMax {
+		t.Fatalf("θ_is = %d out of range", thIS)
+	}
+	h, _ := GuaranteedHits(s, geomL1(), lat, thIS, lat.SlotWidth())
+	if h < satHits {
+		t.Fatalf("hits at θ_is (%d) below saturation (%d)", h, satHits)
+	}
+	if thIS > 1 {
+		hBelow, _ := GuaranteedHits(s, geomL1(), lat, thIS-1, lat.SlotWidth())
+		if hBelow >= satHits {
+			t.Fatalf("θ_is not minimal: hits(θ_is−1)=%d ≥ %d", hBelow, satHits)
+		}
+	}
+}
+
+func TestSaturationTimerDegenerate(t *testing.T) {
+	// Single access: no hits at any θ; θ_is collapses to 1.
+	s := trace.Stream{{Addr: 0x1000, Kind: trace.Read}}
+	thIS, satHits := SaturationTimer(s, geomL1(), lat)
+	if thIS != 1 || satHits != 0 {
+		t.Fatalf("degenerate θ_is = %d hits %d, want 1/0", thIS, satHits)
+	}
+}
+
+func TestBoundsDispatch(t *testing.T) {
+	p, _ := trace.ProfileByName("fft")
+	tr := p.Scaled(0.01).Generate(4, 64, 3)
+
+	cohort, _ := config.CoHoRT(4, 1, []config.Timer{100, 50, -1, -1})
+	bs, err := Bounds(cohort, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs[0].MHit == 0 {
+		t.Fatal("timed core 0 should have guaranteed hits")
+	}
+	if bs[2].MHit != 0 || bs[2].MMiss != int64(tr.Lambda(2)) {
+		t.Fatalf("MSI core bound wrong: %+v", bs[2])
+	}
+	if bs[0].WCMLBound != WCML(bs[0].MHit, bs[0].MMiss, 1, bs[0].WCL) {
+		t.Fatal("Eq.2 inconsistency")
+	}
+
+	pcc := config.PCC(4)
+	bs, err = Bounds(pcc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bs {
+		if bs[i].WCL != 678 {
+			t.Fatalf("PCC WCL = %d", bs[i].WCL)
+		}
+		if bs[i].WCMLBound != 678*int64(tr.Lambda(i)) {
+			t.Fatalf("PCC WCML = %d", bs[i].WCMLBound)
+		}
+	}
+
+	pend := config.PENDULUM([]bool{true, true, false, false})
+	bs, err = Bounds(pend, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs[0].WCL == Unbounded || bs[2].WCL != Unbounded {
+		t.Fatalf("PENDULUM bounds wrong: %+v", bs)
+	}
+
+	cots := config.MSIFCFS(4)
+	bs, err = Bounds(cots, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs[0].WCL != Unbounded || bs[0].WCMLBound != Unbounded {
+		t.Fatalf("FCFS must be unbounded: %+v", bs[0])
+	}
+}
+
+func TestBoundsValidation(t *testing.T) {
+	cohort, _ := config.CoHoRT(4, 1, []config.Timer{1, 1, 1, 1})
+	p, _ := trace.ProfileByName("fft")
+	tr := p.Scaled(0.001).Generate(2, 64, 1) // wrong core count
+	if _, err := Bounds(cohort, tr); err == nil {
+		t.Fatal("stream-count mismatch accepted")
+	}
+	bad := config.PaperDefaults(4, 1)
+	bad.Mode = 7
+	tr4 := p.Scaled(0.001).Generate(4, 64, 1)
+	if _, err := Bounds(bad, tr4); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestGuaranteedHitsBadWCLPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GuaranteedHits(trace.Stream{{Addr: 1}}, geomL1(), lat, 5, 0)
+}

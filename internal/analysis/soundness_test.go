@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"testing"
+
+	"cohort/internal/config"
+	"cohort/internal/core"
+	"cohort/internal/trace"
+)
+
+// TestSoundness is the central validation of the reproduction: for every
+// workload profile and a spread of timer assignments, the simulator's
+// measured behaviour must respect the analysis — per-request latencies stay
+// under the Eq. 1 bound, total memory latency stays under the Eq. 2/3 WCML
+// bound, and each timed core achieves at least its guaranteed hit count.
+// This is what Fig. 5's "experimental below analytical" claim rests on.
+func TestSoundness(t *testing.T) {
+	timerSets := [][]config.Timer{
+		{100, 50, 20, 10},
+		{300, 20, 20, 20},
+		{500, config.TimerMSI, config.TimerMSI, config.TimerMSI},
+		{200, 100, config.TimerMSI, config.TimerMSI},
+		{config.TimerMSI, config.TimerMSI, config.TimerMSI, config.TimerMSI},
+		{1, 1, 1, 1},
+		{0, 50, config.TimerMSI, 700},
+	}
+	for _, name := range []string{"fft", "radix", "water", "lu", "barnes"} {
+		p, err := trace.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []uint64{11, 97, 2026} {
+			tr := p.Scaled(0.02).Generate(4, 64, seed)
+			for ti, timers := range timerSets {
+				cfg, err := config.CoHoRT(4, 1, timers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bounds, err := Bounds(cfg, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys, err := core.New(cfg, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run, err := sys.Run()
+				if err != nil {
+					t.Fatalf("%s timers#%d: %v", name, ti, err)
+				}
+				if err := sys.CheckCoherence(); err != nil {
+					t.Fatalf("%s timers#%d coherence: %v", name, ti, err)
+				}
+				for i := range run.Cores {
+					b := bounds[i]
+					c := run.Cores[i]
+					if b.WCL != Unbounded && c.MaxMissLatency > b.WCL {
+						t.Errorf("%s seed %d timers#%d core %d: max miss latency %d exceeds WCL %d (θ=%v)",
+							name, seed, ti, i, c.MaxMissLatency, b.WCL, timers)
+					}
+					if b.WCMLBound != Unbounded && c.TotalLatency > b.WCMLBound {
+						t.Errorf("%s seed %d timers#%d core %d: measured WCML %d exceeds bound %d",
+							name, seed, ti, i, c.TotalLatency, b.WCMLBound)
+					}
+					// The strictly conservative hit analysis (WCL charged inside
+					// the window) must be a true lower bound on achieved hits.
+					consHits, _ := GuaranteedHits(tr.Streams[i], cfg.L1, cfg.Lat, timers[i], b.WCL)
+					if c.Hits < consHits {
+						t.Errorf("%s seed %d timers#%d core %d: %d hits below conservative guarantee %d",
+							name, seed, ti, i, c.Hits, consHits)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSoundnessPCC checks the PCC baseline against its bound.
+func TestSoundnessPCC(t *testing.T) {
+	p, _ := trace.ProfileByName("lu")
+	tr := p.Scaled(0.02).Generate(4, 64, 13)
+	cfg := config.PCC(4)
+	bounds, err := Bounds(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range run.Cores {
+		if run.Cores[i].MaxMissLatency > bounds[i].WCL {
+			t.Errorf("core %d: PCC max latency %d exceeds WCL %d", i, run.Cores[i].MaxMissLatency, bounds[i].WCL)
+		}
+		if run.Cores[i].TotalLatency > bounds[i].WCMLBound {
+			t.Errorf("core %d: PCC WCML %d exceeds bound %d", i, run.Cores[i].TotalLatency, bounds[i].WCMLBound)
+		}
+	}
+}
+
+// TestSoundnessPendulum checks the PENDULUM baseline for critical cores.
+func TestSoundnessPendulum(t *testing.T) {
+	p, _ := trace.ProfileByName("fft")
+	tr := p.Scaled(0.02).Generate(4, 64, 17)
+	cfg := config.PENDULUM([]bool{true, true, false, false})
+	bounds, err := Bounds(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range run.Cores {
+		if bounds[i].WCL == Unbounded {
+			continue
+		}
+		if run.Cores[i].MaxMissLatency > bounds[i].WCL {
+			t.Errorf("core %d: PENDULUM max latency %d exceeds WCL %d", i, run.Cores[i].MaxMissLatency, bounds[i].WCL)
+		}
+		if run.Cores[i].TotalLatency > bounds[i].WCMLBound {
+			t.Errorf("core %d: PENDULUM WCML %d exceeds bound %d", i, run.Cores[i].TotalLatency, bounds[i].WCMLBound)
+		}
+	}
+}
+
+// TestSoundnessNonPerfectLLC repeats the check with the non-perfect LLC +
+// DRAM model (the paper's footnote-1 configuration). Analytical bounds
+// assume a perfect LLC, so only the hit guarantee (which is unaffected by
+// memory latency) is asserted, plus coherence.
+func TestSoundnessNonPerfectLLC(t *testing.T) {
+	p, _ := trace.ProfileByName("fft")
+	tr := p.Scaled(0.02).Generate(4, 64, 19)
+	cfg, _ := config.CoHoRT(4, 1, []config.Timer{200, 100, 50, config.TimerMSI})
+	cfg.PerfectLLC = false
+	bounds, err := Bounds(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range run.Cores {
+		consHits, _ := GuaranteedHits(tr.Streams[i], cfg.L1, cfg.Lat, cfg.TimerOf(i), bounds[i].WCL)
+		if run.Cores[i].Hits < consHits {
+			t.Errorf("core %d: %d hits below conservative guarantee %d under non-perfect LLC",
+				i, run.Cores[i].Hits, consHits)
+		}
+		// The DRAM-extended bounds must hold for latencies and WCML too.
+		if run.Cores[i].MaxMissLatency > bounds[i].WCL {
+			t.Errorf("core %d: non-perfect max latency %d exceeds bound %d",
+				i, run.Cores[i].MaxMissLatency, bounds[i].WCL)
+		}
+		if run.Cores[i].TotalLatency > bounds[i].WCMLBound {
+			t.Errorf("core %d: non-perfect WCML %d exceeds bound %d",
+				i, run.Cores[i].TotalLatency, bounds[i].WCMLBound)
+		}
+	}
+}

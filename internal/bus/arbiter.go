@@ -1,0 +1,245 @@
+// Package bus implements the shared-bus arbitration policies of the paper
+// and its baselines: RROF (Round-Robin Oldest-First, §III-B), plain
+// round-robin, FCFS (the COTS baseline of Fig. 6), and TDM with
+// critical-core-only service (the PENDULUM baseline).
+//
+// The arbiters are pure decision procedures over a snapshot of per-core
+// request state; bus occupancy and transaction timing live in internal/core.
+package bus
+
+import "fmt"
+
+// Candidate is the arbiter's view of one core when the bus is free.
+type Candidate struct {
+	// Core is the core index.
+	Core int
+	// Ready reports whether the core has an action that could use the bus
+	// right now (a request broadcast, or a data transfer whose owner has
+	// released the line).
+	Ready bool
+	// Pending reports whether the core has an outstanding request at all
+	// (ready or still blocked on an owner's timer).
+	Pending bool
+	// Enqueued is the cycle the core's oldest pending request was enqueued
+	// (meaningful when Pending; used by FCFS).
+	Enqueued int64
+	// Critical reports whether the core is critical at the current mode
+	// (used by the TDM/PENDULUM policy).
+	Critical bool
+}
+
+// Arbiter selects which core may use the bus.
+type Arbiter interface {
+	// Name identifies the policy.
+	Name() string
+	// Pick returns the index into cands of the winner, or -1 for an idle
+	// bus. cands is ordered by core id and has one entry per core.
+	Pick(now int64, cands []Candidate) int
+	// Served tells the arbiter that core's oldest request completed
+	// (received data). RROF uses this to rotate its sequence.
+	Served(core int)
+	// NextWake returns the next cycle strictly after now at which Pick
+	// could succeed even without new readiness (TDM slot boundaries),
+	// or -1 when readiness changes are the only trigger.
+	NextWake(now int64) int64
+}
+
+// --- RROF ---------------------------------------------------------------
+
+// RROF is Round-Robin Oldest-First: cores are kept in a cyclic sequence and
+// a core keeps its position until its oldest request is served, at which
+// point it moves to the back. Broadcasting or waiting for an owner's timer
+// does not cost the position, which is what tightens the per-request bound
+// (paper §III-B, [18]).
+type RROF struct {
+	order []int
+}
+
+// NewRROF builds an RROF arbiter over n cores, initially ordered 0..n-1.
+func NewRROF(n int) *RROF {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return &RROF{order: order}
+}
+
+// Name implements Arbiter.
+func (a *RROF) Name() string { return "rrof" }
+
+// Pick grants the first ready core in sequence order.
+func (a *RROF) Pick(_ int64, cands []Candidate) int {
+	for _, core := range a.order {
+		if cands[core].Ready {
+			return core
+		}
+	}
+	return -1
+}
+
+// Served moves the core to the back of the sequence.
+func (a *RROF) Served(core int) {
+	for i, c := range a.order {
+		if c == core {
+			a.order = append(append(a.order[:i:i], a.order[i+1:]...), core)
+			return
+		}
+	}
+}
+
+// NextWake implements Arbiter; RROF is purely readiness-driven.
+func (a *RROF) NextWake(int64) int64 { return -1 }
+
+// Order exposes the current sequence for tests and tracing.
+func (a *RROF) Order() []int { return append([]int(nil), a.order...) }
+
+// --- plain round-robin ----------------------------------------------------
+
+// RR is a conventional round-robin arbiter: any grant (including a bare
+// broadcast) rotates the core to the back of the sequence.
+type RR struct {
+	order []int
+}
+
+// NewRR builds a plain round-robin arbiter over n cores.
+func NewRR(n int) *RR {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return &RR{order: order}
+}
+
+// Name implements Arbiter.
+func (a *RR) Name() string { return "rr" }
+
+// Pick grants the first ready core and rotates it to the back.
+func (a *RR) Pick(_ int64, cands []Candidate) int {
+	for i, core := range a.order {
+		if cands[core].Ready {
+			a.order = append(append(a.order[:i:i], a.order[i+1:]...), core)
+			return core
+		}
+	}
+	return -1
+}
+
+// Served implements Arbiter; RR rotates on grant instead.
+func (a *RR) Served(int) {}
+
+// NextWake implements Arbiter.
+func (a *RR) NextWake(int64) int64 { return -1 }
+
+// --- FCFS -----------------------------------------------------------------
+
+// FCFS grants the ready core whose oldest pending request was enqueued
+// first (ties broken by core id). This is the COTS arbiter the paper
+// normalizes Fig. 6 against.
+type FCFS struct{}
+
+// NewFCFS builds a first-come-first-served arbiter.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Arbiter.
+func (a *FCFS) Name() string { return "fcfs" }
+
+// Pick grants the ready candidate with the earliest enqueue time.
+func (a *FCFS) Pick(_ int64, cands []Candidate) int {
+	best := -1
+	for i := range cands {
+		if !cands[i].Ready {
+			continue
+		}
+		if best == -1 || cands[i].Enqueued < cands[best].Enqueued {
+			best = i
+		}
+	}
+	if best == -1 {
+		return -1
+	}
+	return cands[best].Core
+}
+
+// Served implements Arbiter.
+func (a *FCFS) Served(int) {}
+
+// NextWake implements Arbiter.
+func (a *FCFS) NextWake(int64) int64 { return -1 }
+
+// --- TDM (PENDULUM) ---------------------------------------------------------
+
+// TDM divides bus time into fixed slots of SlotWidth cycles, cycling over
+// the critical cores. A slot may only be used by its owner, starting at the
+// slot boundary; an owner with nothing ready wastes the slot (the idle-slot
+// penalty the paper attributes PENDULUM's slowdown to). When CritOnly is
+// set, non-critical cores are served inside otherwise-idle slots only when
+// no critical core has anything ready — PENDULUM's unfair service rule.
+type TDM struct {
+	schedule  []int // slot owners (critical cores)
+	slotWidth int64
+	critOnly  bool
+}
+
+// NewTDM builds the PENDULUM arbiter. critical flags each core; slotWidth
+// is SW. If no core is critical the schedule covers all cores.
+func NewTDM(critical []bool, slotWidth int64, critOnly bool) *TDM {
+	if slotWidth <= 0 {
+		panic(fmt.Sprintf("bus: TDM slot width %d", slotWidth))
+	}
+	var sched []int
+	for core, cr := range critical {
+		if cr {
+			sched = append(sched, core)
+		}
+	}
+	if len(sched) == 0 {
+		for core := range critical {
+			sched = append(sched, core)
+		}
+	}
+	return &TDM{schedule: sched, slotWidth: slotWidth, critOnly: critOnly}
+}
+
+// Name implements Arbiter.
+func (a *TDM) Name() string { return "tdm" }
+
+// SlotOwner returns the core owning the slot containing cycle now.
+func (a *TDM) SlotOwner(now int64) int {
+	slot := now / a.slotWidth
+	return a.schedule[int(slot)%len(a.schedule)]
+}
+
+// Pick grants the slot owner at slot boundaries, or a non-critical core in
+// an idle slot when permitted.
+func (a *TDM) Pick(now int64, cands []Candidate) int {
+	atBoundary := now%a.slotWidth == 0
+	if !atBoundary {
+		return -1
+	}
+	owner := a.SlotOwner(now)
+	if cands[owner].Ready {
+		return owner
+	}
+	// Idle slot: optionally serve a non-critical core.
+	if a.critOnly {
+		for i := range cands {
+			if cands[i].Critical && cands[i].Ready {
+				return -1 // critical work exists; idle anyway (unfair rule)
+			}
+		}
+	}
+	for i := range cands {
+		if !cands[i].Critical && cands[i].Ready {
+			return cands[i].Core
+		}
+	}
+	return -1
+}
+
+// Served implements Arbiter.
+func (a *TDM) Served(int) {}
+
+// NextWake returns the next slot boundary after now.
+func (a *TDM) NextWake(now int64) int64 {
+	return (now/a.slotWidth + 1) * a.slotWidth
+}

@@ -1,0 +1,298 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cands(n int, ready ...int) []Candidate {
+	cs := make([]Candidate, n)
+	for i := range cs {
+		cs[i] = Candidate{Core: i, Critical: true}
+	}
+	for _, r := range ready {
+		cs[r].Ready = true
+		cs[r].Pending = true
+	}
+	return cs
+}
+
+func TestRROFGrantsInOrder(t *testing.T) {
+	a := NewRROF(4)
+	if got := a.Pick(0, cands(4, 2, 3)); got != 2 {
+		t.Fatalf("Pick = %d, want 2 (first ready in order)", got)
+	}
+	if got := a.Pick(0, cands(4)); got != -1 {
+		t.Fatalf("Pick with none ready = %d, want -1", got)
+	}
+}
+
+func TestRROFKeepsPositionUntilServed(t *testing.T) {
+	a := NewRROF(4)
+	// Core 0 is granted (e.g. broadcast) but not served: it keeps position.
+	if a.Pick(0, cands(4, 0, 1)) != 0 {
+		t.Fatal("expected core 0 first")
+	}
+	if a.Pick(0, cands(4, 0, 1)) != 0 {
+		t.Fatal("core 0 must keep its position until served")
+	}
+	a.Served(0)
+	if got := a.Order(); got[3] != 0 {
+		t.Fatalf("after Served(0), order = %v, want 0 at tail", got)
+	}
+	if a.Pick(0, cands(4, 0, 1)) != 1 {
+		t.Fatal("after service, core 1 must win")
+	}
+}
+
+func TestRROFServedUnknownCoreNoop(t *testing.T) {
+	a := NewRROF(2)
+	a.Served(99) // must not panic or corrupt
+	if got := a.Order(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("order corrupted: %v", got)
+	}
+}
+
+func TestRRRotatesOnGrant(t *testing.T) {
+	a := NewRR(3)
+	if a.Pick(0, cands(3, 0, 1, 2)) != 0 {
+		t.Fatal("want 0 first")
+	}
+	if a.Pick(0, cands(3, 0, 1, 2)) != 1 {
+		t.Fatal("RR must rotate after grant")
+	}
+	if a.Pick(0, cands(3, 0, 1, 2)) != 2 {
+		t.Fatal("RR must rotate after grant")
+	}
+	if a.Pick(0, cands(3, 0, 1, 2)) != 0 {
+		t.Fatal("RR must wrap")
+	}
+}
+
+func TestFCFSOldestFirst(t *testing.T) {
+	a := NewFCFS()
+	cs := cands(3, 0, 1, 2)
+	cs[0].Enqueued = 30
+	cs[1].Enqueued = 10
+	cs[2].Enqueued = 20
+	if got := a.Pick(0, cs); got != 1 {
+		t.Fatalf("FCFS picked %d, want 1 (oldest)", got)
+	}
+	// Tie: lowest core id wins.
+	cs[0].Enqueued = 10
+	if got := a.Pick(0, cs); got != 0 {
+		t.Fatalf("FCFS tie picked %d, want 0", got)
+	}
+	if got := a.Pick(0, cands(3)); got != -1 {
+		t.Fatal("FCFS with none ready must idle")
+	}
+}
+
+func TestTDMSlotBoundaries(t *testing.T) {
+	a := NewTDM([]bool{true, true, false, false}, 54, true)
+	// Slot 0 belongs to core 0.
+	if a.SlotOwner(0) != 0 || a.SlotOwner(53) != 0 || a.SlotOwner(54) != 1 || a.SlotOwner(108) != 0 {
+		t.Fatal("slot ownership wrong")
+	}
+	cs := cands(4, 0, 1)
+	if got := a.Pick(0, cs); got != 0 {
+		t.Fatalf("slot 0 owner ready, picked %d", got)
+	}
+	// Mid-slot: no grant even if ready.
+	if got := a.Pick(10, cs); got != -1 {
+		t.Fatalf("mid-slot grant: %d", got)
+	}
+	// Slot 1 boundary: owner is core 1.
+	if got := a.Pick(54, cs); got != 1 {
+		t.Fatalf("slot 1 picked %d, want 1", got)
+	}
+	if a.NextWake(0) != 54 || a.NextWake(53) != 54 || a.NextWake(54) != 108 {
+		t.Fatal("NextWake boundaries wrong")
+	}
+}
+
+func TestTDMIdleSlotAndCritOnly(t *testing.T) {
+	a := NewTDM([]bool{true, true, false, false}, 54, true)
+	cs := cands(4)
+	cs[2].Critical = false
+	cs[3].Critical = false
+	// Only non-critical core 3 ready, no critical ready: it may use the slot.
+	cs[3].Ready = true
+	if got := a.Pick(0, cs); got != 3 {
+		t.Fatalf("idle slot should serve nCr core 3, got %d", got)
+	}
+	// Critical core 1 ready but slot 0 belongs to core 0: idle slot, and the
+	// unfair rule blocks the non-critical core too.
+	cs[1].Ready = true
+	if got := a.Pick(0, cs); got != -1 {
+		t.Fatalf("crit-only rule violated: picked %d", got)
+	}
+	// Without the unfair rule the nCr core is served in the idle slot.
+	b := NewTDM([]bool{true, true, false, false}, 54, false)
+	if got := b.Pick(0, cs); got != 3 {
+		t.Fatalf("work-conserving TDM should pick 3, got %d", got)
+	}
+}
+
+func TestTDMNoCriticalCores(t *testing.T) {
+	a := NewTDM([]bool{false, false}, 10, false)
+	cs := cands(2, 1)
+	cs[0].Critical = false
+	cs[1].Critical = false
+	// Slot 0 owner is core 0 (fallback schedule covers all cores); core 0 is
+	// not ready, and the work-conserving fallback serves non-critical core 1.
+	if got := a.Pick(0, cs); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (idle-slot fallback)", got)
+	}
+	if got := a.Pick(10, cs); got != 1 {
+		t.Fatalf("slot 1 owner ready: got %d, want 1", got)
+	}
+}
+
+func TestTDMBadSlotWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTDM([]bool{true}, 0, false)
+}
+
+func TestNames(t *testing.T) {
+	if NewRROF(1).Name() != "rrof" || NewRR(1).Name() != "rr" ||
+		NewFCFS().Name() != "fcfs" || NewTDM([]bool{true}, 1, false).Name() != "tdm" {
+		t.Fatal("arbiter names wrong")
+	}
+	if NewRROF(1).NextWake(5) != -1 || NewRR(1).NextWake(5) != -1 || NewFCFS().NextWake(5) != -1 {
+		t.Fatal("readiness-driven arbiters must return -1 from NextWake")
+	}
+}
+
+// Property: RROF never grants a non-ready core, and the order remains a
+// permutation of 0..n-1 under arbitrary Served sequences.
+func TestPropertyRROFPermutation(t *testing.T) {
+	f := func(serves []uint8, readyMask uint8) bool {
+		const n = 5
+		a := NewRROF(n)
+		for _, s := range serves {
+			a.Served(int(s) % (n + 2)) // include out-of-range ids
+		}
+		order := a.Order()
+		if len(order) != n {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range order {
+			if c < 0 || c >= n || seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		cs := make([]Candidate, n)
+		for i := range cs {
+			cs[i] = Candidate{Core: i, Ready: readyMask&(1<<i) != 0}
+		}
+		got := a.Pick(0, cs)
+		if got == -1 {
+			return readyMask&((1<<n)-1) == 0
+		}
+		return cs[got].Ready
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TDM only ever grants at slot boundaries and never grants a
+// non-ready candidate.
+func TestPropertyTDMBoundary(t *testing.T) {
+	f := func(nowRaw uint16, readyMask uint8) bool {
+		a := NewTDM([]bool{true, true, true}, 7, true)
+		now := int64(nowRaw)
+		cs := make([]Candidate, 3)
+		for i := range cs {
+			cs[i] = Candidate{Core: i, Critical: true, Ready: readyMask&(1<<i) != 0}
+		}
+		got := a.Pick(now, cs)
+		if got == -1 {
+			return true
+		}
+		if now%7 != 0 {
+			return false
+		}
+		return cs[got].Ready && got == a.SlotOwner(now)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RROF is starvation-free — a continuously-ready core is granted
+// within N picks no matter how the other cores' readiness flips.
+func TestPropertyRROFNoStarvation(t *testing.T) {
+	f := func(readySeq []uint8, victim uint8) bool {
+		const n = 4
+		target := int(victim) % n
+		a := NewRROF(n)
+		picksSinceReady := 0
+		for step := 0; step < len(readySeq); step++ {
+			cs := make([]Candidate, n)
+			for i := range cs {
+				cs[i] = Candidate{Core: i, Ready: readySeq[step]&(1<<i) != 0}
+			}
+			cs[target].Ready = true // the victim is always ready
+			got := a.Pick(0, cs)
+			if got == -1 {
+				return false // someone is ready, so the bus must not idle
+			}
+			if got == target {
+				picksSinceReady = 0
+				a.Served(got)
+				continue
+			}
+			picksSinceReady++
+			if picksSinceReady >= n {
+				return false // starved beyond one full round
+			}
+			a.Served(got)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FCFS never inverts arrival order among ready candidates.
+func TestPropertyFCFSOrder(t *testing.T) {
+	f := func(enq []uint16, readyMask uint8) bool {
+		n := len(enq)
+		if n == 0 || n > 8 {
+			return true
+		}
+		a := NewFCFS()
+		cs := make([]Candidate, n)
+		for i := range cs {
+			cs[i] = Candidate{Core: i, Ready: readyMask&(1<<i) != 0, Enqueued: int64(enq[i])}
+		}
+		got := a.Pick(0, cs)
+		if got == -1 {
+			for _, c := range cs {
+				if c.Ready {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range cs {
+			if c.Ready && (c.Enqueued < cs[got].Enqueued ||
+				(c.Enqueued == cs[got].Enqueued && c.Core < got)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package coherence
+
+import (
+	"fmt"
+
+	"cohort/internal/trace"
+)
+
+// Waiter is one broadcast request queued behind a line's current owner.
+type Waiter struct {
+	// Core is the requesting core.
+	Core int
+	// Write reports whether the request is a store (GetM) or a load (GetS).
+	Write bool
+	// Broadcast is the cycle the request became globally visible.
+	Broadcast int64
+}
+
+// LineInfo is the simulator's global view of one cache line: who owns it,
+// which cores hold read-only copies, the FIFO of broadcast requesters
+// waiting behind the owner, and a write-version counter used to check data
+// propagation in tests. A snooping system has no physical directory; this
+// structure is the simulator's bookkeeping of what the snoops imply.
+type LineInfo struct {
+	// Owner is the core holding the line in Modified state, or MemOwner
+	// when the shared memory owns it.
+	Owner int
+	// OwnerFetch is the cycle the owner (re)installed the line; the base of
+	// the owner's timer epochs. Meaningless when Owner == MemOwner.
+	OwnerFetch int64
+	// Sharers is a bitmask of cores holding the line in Shared state.
+	Sharers uint64
+	// Waiters is the FIFO of broadcast requests not yet granted data.
+	Waiters []Waiter
+	// Version counts committed writes to the line.
+	Version uint64
+	// OwnerReleased marks that the owner's copy was invalidated at timer
+	// expiry (or evicted) while the data transfer to the head waiter is
+	// still pending; the data sits in the transfer buffer.
+	OwnerReleased bool
+	// OwnerReleasedAt is the cycle OwnerReleased became true.
+	OwnerReleasedAt int64
+}
+
+// PendingInv reports whether any remote requester waits for the line — the
+// PendingInv signal of Fig. 3 as seen by the owner.
+func (li *LineInfo) PendingInv() bool { return len(li.Waiters) > 0 }
+
+// HeadWaiter returns the oldest waiter, or nil.
+func (li *LineInfo) HeadWaiter() *Waiter {
+	if len(li.Waiters) == 0 {
+		return nil
+	}
+	return &li.Waiters[0]
+}
+
+// Enqueue appends a waiter; requests from the same core must not be queued
+// twice (one outstanding miss per core per line).
+func (li *LineInfo) Enqueue(w Waiter) error {
+	for _, q := range li.Waiters {
+		if q.Core == w.Core {
+			return fmt.Errorf("coherence: core %d already waiting for line", w.Core)
+		}
+	}
+	li.Waiters = append(li.Waiters, w)
+	return nil
+}
+
+// PopWaiter removes and returns the oldest waiter.
+func (li *LineInfo) PopWaiter() Waiter {
+	w := li.Waiters[0]
+	li.Waiters = li.Waiters[1:]
+	return w
+}
+
+// AddSharer marks core as holding a Shared copy.
+func (li *LineInfo) AddSharer(core int) { li.Sharers |= 1 << uint(core) }
+
+// RemoveSharer clears core's Shared copy.
+func (li *LineInfo) RemoveSharer(core int) { li.Sharers &^= 1 << uint(core) }
+
+// IsSharer reports whether core holds a Shared copy.
+func (li *LineInfo) IsSharer(core int) bool { return li.Sharers&(1<<uint(core)) != 0 }
+
+// SharerList returns the sharer cores in ascending order (deterministic).
+func (li *LineInfo) SharerList(n int) []int {
+	var out []int
+	for c := 0; c < n; c++ {
+		if li.IsSharer(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Directory maps line addresses to their global coherence state.
+type Directory struct {
+	lines map[uint64]*LineInfo
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{lines: make(map[uint64]*LineInfo)}
+}
+
+// Get returns the LineInfo for lineAddr, creating a memory-owned record on
+// first touch.
+func (d *Directory) Get(lineAddr uint64) *LineInfo {
+	li, ok := d.lines[lineAddr]
+	if !ok {
+		li = &LineInfo{Owner: MemOwner}
+		d.lines[lineAddr] = li
+	}
+	return li
+}
+
+// Peek returns the LineInfo if it exists, without creating one.
+func (d *Directory) Peek(lineAddr uint64) *LineInfo { return d.lines[lineAddr] }
+
+// Len returns the number of tracked lines.
+func (d *Directory) Len() int { return len(d.lines) }
+
+// ForEach visits every tracked line in unspecified order; callers that need
+// determinism must sort. Intended for invariant checks in tests.
+func (d *Directory) ForEach(fn func(lineAddr uint64, li *LineInfo)) {
+	for la, li := range d.lines {
+		fn(la, li)
+	}
+}
+
+// RequestKind converts a trace access kind into the waiter Write flag.
+func RequestKind(k trace.Kind) bool { return k == trace.Write }

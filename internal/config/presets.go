@@ -1,0 +1,110 @@
+package config
+
+import "fmt"
+
+// PaperDefaults returns the evaluation platform of §VIII: four cores, 16 KiB
+// direct-mapped private caches with 64 B lines, an 8-way inclusive LLC, hit /
+// request / data latencies of 1 / 4 / 50 cycles, a perfect LLC, and the RROF
+// arbiter. Every core starts critical (level = levels) with the MSI timer at
+// every mode; callers overwrite the LUT with optimizer output or scenario
+// values.
+func PaperDefaults(nCores, levels int) *System {
+	cores := make([]Core, nCores)
+	for i := range cores {
+		lut := make([]Timer, levels)
+		for m := range lut {
+			lut[m] = TimerMSI
+		}
+		cores[i] = Core{Criticality: levels, TimerLUT: lut}
+	}
+	return &System{
+		Cores:  cores,
+		Levels: levels,
+		Mode:   1,
+		L1: CacheGeometry{
+			SizeBytes: 16 * 1024,
+			LineBytes: 64,
+			Ways:      1,
+		},
+		LLC: CacheGeometry{
+			SizeBytes: 2 * 1024 * 1024,
+			LineBytes: 64,
+			Ways:      8,
+		},
+		Lat: Latencies{
+			Hit:  1,
+			Req:  4,
+			Data: 50,
+			DRAM: 100,
+		},
+		Arbiter:    ArbiterRROF,
+		Transfer:   TransferDirect,
+		PerfectLLC: true,
+	}
+}
+
+// CoHoRT configures the proposed system: RROF arbitration, direct transfers,
+// and the supplied timer vector at mode 1.
+func CoHoRT(nCores, levels int, timers []Timer) (*System, error) {
+	s := PaperDefaults(nCores, levels)
+	if err := s.SetTimers(1, timers); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PCC configures the predictable-MSI baseline: every core runs MSI, the
+// arbiter is predictable (RROF), and ownership handovers are forced through
+// the shared memory (two data slots per intervening owner).
+func PCC(nCores int) *System {
+	s := PaperDefaults(nCores, 1)
+	s.Transfer = TransferViaMemory
+	return s
+}
+
+// PENDULUMDefaultTimer is the fixed, non-requirement-aware timer PENDULUM
+// assigns to every critical core in our model of the baseline.
+const PENDULUMDefaultTimer Timer = 500
+
+// PENDULUM configures the PENDULUM baseline: time-based coherence with a
+// fixed timer on critical cores, TDM arbitration, and non-critical cores
+// served only in idle slots. critical[i] marks core i as Cr.
+func PENDULUM(critical []bool) *System {
+	s := PaperDefaults(len(critical), 2)
+	s.Arbiter = ArbiterTDM
+	s.PendulumCritOnly = true
+	s.Mode = 2 // criticality 2 = Cr, 1 = nCr; mode 2 makes only Cr "critical"
+	for i, cr := range critical {
+		if cr {
+			s.Cores[i].Criticality = 2
+			s.Cores[i].TimerLUT = []Timer{PENDULUMDefaultTimer, PENDULUMDefaultTimer}
+		} else {
+			s.Cores[i].Criticality = 1
+			s.Cores[i].TimerLUT = []Timer{TimerMSI, TimerMSI}
+		}
+	}
+	return s
+}
+
+// MSIFCFS configures the COTS baseline of Fig. 6: standard MSI on every core
+// with a first-come-first-served arbiter.
+func MSIFCFS(nCores int) *System {
+	s := PaperDefaults(nCores, 1)
+	s.Arbiter = ArbiterFCFS
+	return s
+}
+
+// PENDULUMStar configures the PENDULUM* comparator (reference [17] of the
+// paper, the basis of Table I's "requirement-aware but not
+// criticality-aware" row): every core runs time-based coherence with a
+// requirement-derived timer under predictable RROF arbitration — CoHoRT's
+// machinery without heterogeneity (no MSI cores), criticality levels, or
+// mode switching.
+func PENDULUMStar(timers []Timer) (*System, error) {
+	for i, th := range timers {
+		if !th.Timed() {
+			return nil, fmt.Errorf("config: PENDULUM* requires timed cores; core %d has θ=%v", i, th)
+		}
+	}
+	return CoHoRT(len(timers), 1, timers)
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"cohort/internal/bus"
+	"cohort/internal/cache"
+	"cohort/internal/coherence"
+	"cohort/internal/config"
+)
+
+// kickArbiter runs one arbitration round if the bus is free. It is
+// idempotent and safe to call at any time; duplicate calls in one cycle are
+// cheap no-ops.
+func (s *System) kickArbiter(now int64) {
+	if s.busHeld || s.busBusyUntil > now {
+		return // a kick is scheduled for the cycle the bus frees
+	}
+	cands := make([]bus.Candidate, len(s.cores))
+	anyPending := false
+	for i, c := range s.cores {
+		cand := bus.Candidate{Core: i, Critical: s.critical(i)}
+		if m := c.miss; m != nil && !m.inFlight {
+			anyPending = true
+			cand.Pending = true
+			cand.Enqueued = m.issuedAt
+			if !m.broadcasted {
+				cand.Ready = true
+			} else if m.dataReadyAt >= 0 && now >= m.dataReadyAt && s.isHeadWaiter(c, m) {
+				cand.Ready = true
+			}
+		}
+		cands[i] = cand
+	}
+	if !anyPending {
+		return
+	}
+	winner := s.arb.Pick(now, cands)
+	if winner < 0 {
+		if wake := s.arb.NextWake(now); wake > now {
+			s.scheduleKick(wake)
+		}
+		return
+	}
+	c := s.cores[winner]
+	m := c.miss
+	if !m.broadcasted {
+		s.grantBroadcast(c, m, now)
+	} else {
+		s.grantData(c, m, now)
+	}
+}
+
+// isHeadWaiter reports whether the core's miss is first in its line's FIFO.
+func (s *System) isHeadWaiter(c *coreState, m *missState) bool {
+	li := s.dir.Peek(m.line)
+	if li == nil {
+		return false
+	}
+	h := li.HeadWaiter()
+	return h != nil && h.Core == c.id
+}
+
+// scheduleKick schedules an arbitration round at the given cycle, once.
+func (s *System) scheduleKick(at int64) {
+	if s.kickScheduled[at] {
+		return
+	}
+	s.kickScheduled[at] = true
+	s.at(at, func(now int64) {
+		delete(s.kickScheduled, now)
+		s.kickArbiter(now)
+	})
+}
+
+// occupyBus reserves the bus for dur cycles starting now and schedules the
+// arbitration round at the release cycle.
+func (s *System) occupyBus(now, dur int64) {
+	if s.busBusyUntil > now {
+		panic(fmt.Sprintf("core: bus double-granted: busy until %d, grant at %d", s.busBusyUntil, now))
+	}
+	s.busHeld = true
+	s.busBusyUntil = now + dur
+	s.run.BusBusy += dur
+	s.scheduleKick(now + dur)
+}
+
+// releaseBus ends the current transaction owner's tenure.
+func (s *System) releaseBus() { s.busHeld = false }
+
+// grantBroadcast puts the core's request on the bus for the request latency.
+func (s *System) grantBroadcast(c *coreState, m *missState, now int64) {
+	m.inFlight = true
+	s.run.Transactions++
+	s.emit(TraceEvent{Cycle: now, Kind: EvBroadcast, Core: c.id, Line: m.line, Until: now + s.cfg.Lat.Req})
+	// finishBroadcast must run before the bus-free arbitration kick at the
+	// same cycle so a fused data phase can extend the occupancy first.
+	s.at(now+s.cfg.Lat.Req, func(n int64) { s.finishBroadcast(c, m, n) })
+	s.occupyBus(now, s.cfg.Lat.Req)
+}
+
+// finishBroadcast makes the request globally visible: it joins the line's
+// waiter FIFO, and if the requester is the head and the owner has already
+// released the line, the data transfer is fused onto the same bus tenure.
+func (s *System) finishBroadcast(c *coreState, m *missState, now int64) {
+	m.inFlight = false
+	m.broadcasted = true
+	m.broadcastAt = now
+	s.recordRequest(m.line, c.id)
+	li := s.dir.Get(m.line)
+	// Upgrade: the stale S copy dies with the GetM broadcast.
+	if m.wasShared {
+		if e := c.l1.Lookup(m.line); e != nil && e.State == cache.Shared {
+			c.l1.Invalidate(e)
+		}
+		li.RemoveSharer(c.id)
+	}
+	if err := li.Enqueue(coherence.Waiter{Core: c.id, Write: m.write, Broadcast: now}); err != nil {
+		panic(err) // unreachable: one outstanding miss per core
+	}
+	// Recompute the head waiter's readiness unconditionally: an upgrade
+	// broadcast may have just removed this core's own Shared copy, which
+	// could be exactly what the head (and everyone queued behind it) was
+	// waiting out — a stale release time would charge phantom timer
+	// latency beyond Equation 1.
+	s.refreshLine(m.line, li, now)
+	if li.HeadWaiter().Core == c.id {
+		// Fuse the data phase onto the same bus tenure when the data is
+		// already available. The broadcaster still holds the bus (busHeld),
+		// so no same-cycle kick can have granted it elsewhere.
+		if m.dataReadyAt >= 0 && m.dataReadyAt <= now {
+			s.busHeld = false // hand tenure to the fused data grant
+			s.grantData(c, m, now)
+			return
+		}
+	}
+	s.releaseBus()
+	s.kickArbiter(now)
+}
+
+// refreshLine recomputes when the head waiter of a line can receive data:
+// the owner's release time (timer expiry, or immediately for MSI owners) and,
+// for stores, the release of every timer-protected Shared copy. It schedules
+// the corresponding hand-over/invalidation events and an arbitration kick at
+// the ready cycle.
+func (s *System) refreshLine(line uint64, li *coherence.LineInfo, now int64) {
+	head := li.HeadWaiter()
+	if head == nil {
+		return
+	}
+	c := s.cores[head.Core]
+	m := c.miss
+	if m == nil || m.line != line || !m.broadcasted || m.inFlight {
+		return
+	}
+	base := head.Broadcast
+	if now > base {
+		base = now
+	}
+	ready := base
+	if li.Owner != coherence.MemOwner && !li.OwnerReleased {
+		owner := s.cores[li.Owner]
+		rel := coherence.ReleaseTime(li.OwnerFetch, base, owner.theta)
+		if rel > ready {
+			ready = rel
+		}
+		if rel <= now {
+			s.releaseOwner(line, li, head.Write, now)
+		} else {
+			s.scheduleOwnerRelease(line, li, li.Owner, li.OwnerFetch, head.Write, rel)
+		}
+	}
+	if head.Write {
+		for _, j := range li.SharerList(len(s.cores)) {
+			if j == head.Core {
+				continue
+			}
+			cj := s.cores[j]
+			e := cj.l1.Lookup(line)
+			if e == nil || e.State != cache.Shared {
+				li.RemoveSharer(j)
+				continue
+			}
+			rel := coherence.ReleaseTime(e.FetchedAt, base, cj.theta)
+			if rel > ready {
+				ready = rel
+			}
+			if rel <= now {
+				s.invalidateSharer(cj, line, li)
+			} else {
+				s.scheduleSharerInvalidation(cj, line, e.FetchedAt, rel)
+			}
+		}
+	}
+	m.dataReadyAt = ready
+	if ready > now {
+		s.scheduleKick(ready)
+	}
+}
+
+// releaseOwner applies the owner's hand-over. A timed owner invalidates its
+// copy at timer expiry regardless of the request kind — if it kept a
+// timer-protected Shared copy after a remote load, a later remote store
+// would wait out the same core's timer twice, breaking Equation 1. An MSI
+// owner follows standard MSI: invalidate on a remote store, downgrade to
+// Shared on a remote load. The data waits in the transfer buffer until the
+// bus grant.
+func (s *System) releaseOwner(line uint64, li *coherence.LineInfo, write bool, now int64) {
+	if li.Owner == coherence.MemOwner || li.OwnerReleased {
+		return
+	}
+	oc := s.cores[li.Owner]
+	if e := oc.l1.Lookup(line); e != nil {
+		if write || oc.theta != config.TimerMSI {
+			oc.l1.Invalidate(e)
+			s.run.Cores[oc.id].Invalidations++
+		} else {
+			e.State = cache.Shared
+			li.AddSharer(oc.id)
+		}
+	}
+	li.OwnerReleased = true
+	li.OwnerReleasedAt = now
+}
+
+// scheduleOwnerRelease schedules releaseOwner at the computed expiry, guarded
+// against the world changing in between (ownership transfer, eviction, mode
+// switch re-basing the epoch).
+func (s *System) scheduleOwnerRelease(line uint64, li *coherence.LineInfo, owner int, fetchStamp int64, write bool, at int64) {
+	s.at(at, func(n int64) {
+		if li.Owner != owner || li.OwnerReleased || li.OwnerFetch != fetchStamp || !li.PendingInv() {
+			return
+		}
+		if li.HeadWaiter().Write != write {
+			return
+		}
+		s.releaseOwner(line, li, write, n)
+	})
+}
+
+// invalidateSharer drops a Shared copy whose release time has passed.
+func (s *System) invalidateSharer(cj *coreState, line uint64, li *coherence.LineInfo) {
+	if e := cj.l1.Lookup(line); e != nil && e.State == cache.Shared {
+		cj.l1.Invalidate(e)
+		s.run.Cores[cj.id].Invalidations++
+		s.emit(TraceEvent{Cycle: int64(s.eng.Now()), Kind: EvInvalidate, Core: cj.id, Line: line})
+	}
+	li.RemoveSharer(cj.id)
+}
+
+// scheduleSharerInvalidation schedules a guarded invalidation at the copy's
+// release time.
+func (s *System) scheduleSharerInvalidation(cj *coreState, line uint64, fetchStamp, at int64) {
+	s.at(at, func(int64) {
+		e := cj.l1.Lookup(line)
+		if e == nil || e.State != cache.Shared || e.FetchedAt != fetchStamp {
+			return
+		}
+		li := s.dir.Get(line)
+		if !li.PendingInv() {
+			return
+		}
+		s.invalidateSharer(cj, line, li)
+	})
+}
+
+// grantData puts the data transfer on the bus. Data comes cache-to-cache in
+// one data latency (TransferDirect), through the shared memory in two
+// (TransferViaMemory — the PCC baseline), or from the LLC/DRAM when the
+// memory owns the line.
+func (s *System) grantData(c *coreState, m *missState, now int64) {
+	li := s.dir.Get(m.line)
+	m.inFlight = true
+	dur := s.cfg.Lat.Data
+	if li.Owner != coherence.MemOwner {
+		s.recordHandover(m.line, m.dataReadyAt-m.broadcastAt)
+		if s.cfg.Transfer == config.TransferViaMemory {
+			dur = 2 * s.cfg.Lat.Data // write back to memory, then re-fetch
+		}
+	} else {
+		penalty, backInv := s.llc.Fetch(m.line, now, s.pinnedInL1)
+		dur += penalty
+		s.applyBackInvalidations(backInv, now)
+	}
+	s.run.Transactions++
+	s.emit(TraceEvent{Cycle: now, Kind: EvData, Core: c.id, Line: m.line, Until: now + dur})
+	s.at(now+dur, func(n int64) { s.finishData(c, m, n) })
+	s.occupyBus(now, dur)
+}
+
+// finishData completes the head waiter's transfer: ownership moves, stale
+// copies die, the requester installs the line and its access completes.
+func (s *System) finishData(c *coreState, m *missState, now int64) {
+	m.inFlight = false
+	li := s.dir.Get(m.line)
+	w := li.PopWaiter()
+	if w.Core != c.id {
+		panic(fmt.Sprintf("core: transfer completed for core %d but head waiter is %d", c.id, w.Core))
+	}
+	prevOwner := li.Owner
+	if prevOwner != coherence.MemOwner {
+		if prevOwner != c.id && !li.OwnerReleased {
+			// Owner not yet released (expiry aligned with the grant):
+			// apply the same hand-over rule as releaseOwner.
+			po := s.cores[prevOwner]
+			if e := po.l1.Lookup(m.line); e != nil {
+				if m.write || po.theta != config.TimerMSI {
+					po.l1.Invalidate(e)
+					s.run.Cores[po.id].Invalidations++
+				} else {
+					e.State = cache.Shared
+					li.AddSharer(po.id)
+				}
+			}
+		}
+		// The memory observes the transfer (snarf) for loads, and always
+		// under the via-memory policy.
+		if !m.write || s.cfg.Transfer == config.TransferViaMemory {
+			s.llc.WriteBack(m.line, now, s.pinnedInL1)
+		}
+	}
+	li.Owner = coherence.MemOwner
+	li.OwnerReleased = false
+	if m.write {
+		// Stragglers' release times were ≤ the grant; force-drop them.
+		for _, j := range li.SharerList(len(s.cores)) {
+			if j != c.id {
+				s.invalidateSharer(s.cores[j], m.line, li)
+			}
+		}
+		li.Sharers = 0
+	}
+	s.releaseBus()
+	st := cache.Modified
+	if !m.write {
+		st = cache.Shared
+		// MESI: a load served by the memory with no other cached copy
+		// fills Exclusive; the next store upgrades silently.
+		if s.cfg.Snoop == config.SnoopMESI && prevOwner == coherence.MemOwner && li.Sharers == 0 {
+			st = cache.Exclusive
+		}
+	}
+	s.completeMiss(c, m, st, now)
+	if li.PendingInv() {
+		s.refreshLine(m.line, li, now)
+	}
+	s.kickArbiter(now)
+}
+
+// applyBackInvalidations enforces LLC inclusion: lines evicted from the LLC
+// disappear from every private cache (dirty copies drain to DRAM through the
+// write buffer).
+func (s *System) applyBackInvalidations(lines []uint64, now int64) {
+	for _, line := range lines {
+		li := s.dir.Get(line)
+		for _, c := range s.cores {
+			if e := c.l1.Lookup(line); e != nil {
+				c.l1.Invalidate(e)
+				s.run.Cores[c.id].Invalidations++
+			}
+		}
+		li.Sharers = 0
+		if li.Owner != coherence.MemOwner {
+			li.Owner = coherence.MemOwner
+			li.OwnerReleased = false
+		}
+		if li.PendingInv() {
+			s.refreshLine(line, li, now)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "sort"
+
+// LineContention summarizes bus traffic on one cache line over a run.
+type LineContention struct {
+	// Line is the line-granularity address.
+	Line uint64
+	// Requests counts bus requests (broadcasts) for the line.
+	Requests int64
+	// Handovers counts ownership transfers sourced from another cache
+	// (the coherence traffic the timers arbitrate).
+	Handovers int64
+	// TimerStalls accumulates cycles requesters spent waiting for timer
+	// releases on this line.
+	TimerStalls int64
+	// Cores is a bitmask of cores that requested the line.
+	Cores uint64
+}
+
+// Sharers counts the distinct requesting cores.
+func (lc LineContention) Sharers() int {
+	n := 0
+	for m := lc.Cores; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// recordRequest folds one broadcast into the line's contention record.
+func (s *System) recordRequest(line uint64, core int) {
+	lc := s.contention[line]
+	if lc == nil {
+		lc = &LineContention{Line: line}
+		s.contention[line] = lc
+	}
+	lc.Requests++
+	lc.Cores |= 1 << uint(core)
+}
+
+// recordHandover notes a cache-to-cache ownership transfer and the timer
+// wait the requester paid for it (broadcast-to-ready distance).
+func (s *System) recordHandover(line uint64, wait int64) {
+	lc := s.contention[line]
+	if lc == nil {
+		lc = &LineContention{Line: line}
+		s.contention[line] = lc
+	}
+	lc.Handovers++
+	if wait > 0 {
+		lc.TimerStalls += wait
+	}
+}
+
+// TopContended returns the k most requested lines in descending request
+// order (ties broken by line address for determinism). Available after Run.
+func (s *System) TopContended(k int) []LineContention {
+	out := make([]LineContention, 0, len(s.contention))
+	for _, lc := range s.contention {
+		out = append(out, *lc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requests != out[j].Requests {
+			return out[i].Requests > out[j].Requests
+		}
+		return out[i].Line < out[j].Line
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

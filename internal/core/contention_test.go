@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+func TestContentionTracking(t *testing.T) {
+	// Cores 0 and 1 fight over lineA (write ping-pong); core 0 also touches
+	// a private line once.
+	cfg := cfgN(2, 100, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{
+			{Addr: lineA, Kind: trace.Write},
+			{Addr: lineB, Kind: trace.Read, Gap: 10},
+			{Addr: lineA, Kind: trace.Write, Gap: 400},
+		},
+		trace.Stream{
+			{Addr: lineA, Kind: trace.Write, Gap: 30},
+		},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	top := sys.TopContended(0)
+	if len(top) != 2 {
+		t.Fatalf("tracked lines = %d, want 2", len(top))
+	}
+	hot := top[0]
+	if hot.Line != sys.cores[0].l1.LineAddr(lineA) {
+		t.Fatalf("hottest line = %#x, want lineA", hot.Line)
+	}
+	if hot.Requests != 3 {
+		t.Fatalf("lineA requests = %d, want 3", hot.Requests)
+	}
+	if hot.Sharers() != 2 {
+		t.Fatalf("lineA sharers = %d, want 2", hot.Sharers())
+	}
+	// Core 1's write waited out core 0's θ=100 timer: a handover with a
+	// timer stall must be recorded.
+	if hot.Handovers < 1 {
+		t.Fatalf("lineA handovers = %d, want ≥ 1", hot.Handovers)
+	}
+	if hot.TimerStalls <= 0 {
+		t.Fatalf("lineA timer stalls = %d, want > 0", hot.TimerStalls)
+	}
+	cold := top[1]
+	if cold.Requests != 1 || cold.Sharers() != 1 || cold.Handovers != 0 {
+		t.Fatalf("lineB contention = %+v", cold)
+	}
+	// TopContended(1) truncates.
+	if got := sys.TopContended(1); len(got) != 1 || got[0].Line != hot.Line {
+		t.Fatalf("TopContended(1) = %+v", got)
+	}
+}
+
+func TestContentionDeterministicOrder(t *testing.T) {
+	p, _ := trace.ProfileByName("radix")
+	tr := p.Scaled(0.02).Generate(4, 64, 3)
+	run := func() []LineContention {
+		cfg := cfgN(4, 50, 50, 50, 50)
+		sys, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.TopContended(10)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic contention list length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic contention at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Descending by requests.
+	for i := 1; i < len(a); i++ {
+		if a[i].Requests > a[i-1].Requests {
+			t.Fatal("TopContended not sorted")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"cohort/internal/cache"
+	"cohort/internal/coherence"
+	"cohort/internal/trace"
+)
+
+// coreWake advances a core's instruction stream as far as the current cycle
+// allows. The model approximates the paper's OoO cores with non-blocking
+// caches: accesses issue in order, hits complete in L_hit cycles and do not
+// block later accesses (hits-over-misses), one miss may be outstanding
+// (MSHR = 1), and a second miss stalls issue until the first resolves.
+func (s *System) coreWake(c *coreState, now int64) {
+	if c.finished {
+		return
+	}
+	for {
+		if c.pos >= len(c.stream) {
+			if c.miss == nil {
+				c.finished = true
+			}
+			return
+		}
+		if c.nextEligible > now {
+			s.scheduleCoreWake(c, c.nextEligible)
+			return
+		}
+		// A blocking cache (ablation knob) stalls on any outstanding miss;
+		// the paper's non-blocking L1 lets hits proceed under a miss.
+		if c.miss != nil && s.cfg.BlockingCaches {
+			return
+		}
+		a := c.stream[c.pos]
+		line := c.l1.LineAddr(a.Addr)
+		entry := c.l1.Lookup(line)
+		if entry != nil && (a.Kind == trace.Read || entry.State.Owned()) {
+			s.completeHit(c, a, entry, now)
+			c.advanceIssue(now)
+			continue
+		}
+		// Miss (or S→M upgrade). One outstanding miss per core.
+		if c.miss != nil {
+			// Stall: resume from the miss-completion path.
+			return
+		}
+		s.startMiss(c, a, line, entry, now)
+		c.advanceIssue(now)
+		// Keep issuing later accesses under the miss (hits proceed, the
+		// next miss will stall above).
+	}
+}
+
+// advanceIssue moves the issue cursor past the current access: the next
+// access becomes eligible after one issue cycle plus its compute gap.
+func (c *coreState) advanceIssue(now int64) {
+	c.pos++
+	c.nextEligible = now + 1
+	if c.pos < len(c.stream) {
+		c.nextEligible += c.stream[c.pos].Gap
+	}
+}
+
+// scheduleCoreWake schedules coreWake at the given cycle, deduplicating.
+func (s *System) scheduleCoreWake(c *coreState, at int64) {
+	if c.wakeAt == at {
+		return
+	}
+	c.wakeAt = at
+	s.at(at, func(now int64) {
+		if c.wakeAt == now {
+			c.wakeAt = -1
+		}
+		s.coreWake(c, now)
+	})
+}
+
+// completeHit finishes a private-cache hit at now + L_hit.
+func (s *System) completeHit(c *coreState, a trace.Access, entry *cache.Entry, now int64) {
+	done := now + s.cfg.Lat.Hit
+	c.l1.Touch(entry)
+	if a.Kind == trace.Write {
+		// Write hit to an owned line: commit a new version. An Exclusive
+		// copy upgrades to Modified silently (MESI), without a bus
+		// transaction.
+		entry.State = cache.Modified
+		li := s.dir.Get(entry.LineAddr)
+		li.Version++
+		entry.Version = li.Version
+	}
+	s.run.Cores[c.id].RecordAccess(true, s.cfg.Lat.Hit)
+	if done > c.maxCompletion {
+		c.maxCompletion = done
+	}
+}
+
+// startMiss creates the core's outstanding bus request and offers it to the
+// arbiter. For a store to a line the core holds in S (upgrade), the stale
+// copy is dropped when the broadcast completes.
+func (s *System) startMiss(c *coreState, a trace.Access, line uint64, entry *cache.Entry, now int64) {
+	c.miss = &missState{
+		line:        line,
+		write:       a.Kind == trace.Write,
+		wasShared:   entry != nil && entry.State == cache.Shared,
+		issuedAt:    now,
+		dataReadyAt: -1,
+	}
+	if c.miss.wasShared {
+		s.run.Cores[c.id].Upgrades++
+	}
+	s.emit(TraceEvent{Cycle: now, Kind: EvMissStart, Core: c.id, Line: line})
+	s.kickArbiter(now)
+}
+
+// completeMiss finishes the access that created the miss: installs the line
+// (unless θ = 0), records the latency, and resumes the core.
+func (s *System) completeMiss(c *coreState, m *missState, st cache.State, now int64) {
+	li := s.dir.Get(m.line)
+	if c.theta == 0 {
+		// θ = 0: serve the data without caching it.
+		if m.write {
+			li.Version++
+			s.llc.WriteBack(m.line, now, s.pinnedInL1)
+			li.Owner = coherence.MemOwner
+			li.OwnerReleased = false
+		}
+	} else {
+		victim := c.l1.VictimFor(m.line, nil)
+		if victim.Valid() {
+			s.evictL1(c, victim, now)
+		}
+		c.l1.Fill(victim, m.line, st, now)
+		if st.Owned() {
+			li.Owner = c.id
+			li.OwnerFetch = now
+			li.OwnerReleased = false
+			li.Sharers = 0
+			if st == cache.Modified {
+				li.Version++
+			}
+		} else {
+			li.AddSharer(c.id)
+		}
+		victim.Version = li.Version
+	}
+	lat := now - m.issuedAt
+	s.run.Cores[c.id].RecordAccess(false, lat)
+	s.emit(TraceEvent{Cycle: now, Kind: EvMissEnd, Core: c.id, Line: m.line})
+	if now > c.maxCompletion {
+		c.maxCompletion = now
+	}
+	c.miss = nil
+	s.arb.Served(c.id)
+	s.coreWake(c, now)
+}
+
+// evictL1 removes a victim line from a core's private cache (the core's own
+// replacement decision). Modified victims write back to the shared memory
+// through the write buffer (off the request/data bus; see DESIGN.md §4), so
+// pending requesters of the victim line are served from memory afterwards.
+func (s *System) evictL1(c *coreState, victim *cache.Entry, now int64) {
+	line := victim.LineAddr
+	li := s.dir.Get(line)
+	switch victim.State {
+	case cache.Modified:
+		s.run.Cores[c.id].Writebacks++
+		s.llc.WriteBack(line, now, s.pinnedInL1)
+		if li.Owner == c.id {
+			li.Owner = coherence.MemOwner
+			li.OwnerReleased = false
+		}
+	case cache.Exclusive:
+		// Clean owner copy: no writeback, just release ownership.
+		if li.Owner == c.id {
+			li.Owner = coherence.MemOwner
+			li.OwnerReleased = false
+		}
+	default:
+		li.RemoveSharer(c.id)
+	}
+	c.l1.Invalidate(victim)
+	if li.PendingInv() {
+		s.refreshLine(line, li, now)
+	}
+}

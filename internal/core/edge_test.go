@@ -1,0 +1,291 @@
+package core
+
+import (
+	"testing"
+
+	"cohort/internal/cache"
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+// TestBackInvalidationPath forces LLC evictions in non-perfect mode and
+// checks that inclusion is enforced without breaking pending requests.
+func TestBackInvalidationPath(t *testing.T) {
+	cfg := cfgN(2, config.TimerMSI, config.TimerMSI)
+	cfg.PerfectLLC = false
+	// Tiny LLC: 2 sets × 1 way ⇒ heavy eviction pressure. L1 must be ≤ LLC
+	// for the config validator, so shrink L1 too (1 line each).
+	cfg.L1 = config.CacheGeometry{SizeBytes: 64, LineBytes: 64, Ways: 1}
+	cfg.LLC = config.CacheGeometry{SizeBytes: 2 * 64, LineBytes: 64, Ways: 1}
+	var s0, s1 trace.Stream
+	for i := 0; i < 30; i++ {
+		s0 = append(s0, trace.Access{Addr: uint64(0x1000 + (i%4)*64), Kind: trace.Write, Gap: 2})
+		s1 = append(s1, trace.Access{Addr: uint64(0x1000 + (i%4)*64), Kind: trace.Read, Gap: 3})
+	}
+	sys, err := New(cfg, mkTrace(s0, s1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	if run.Cores[0].Accesses != 30 || run.Cores[1].Accesses != 30 {
+		t.Fatal("accesses lost under back-invalidation pressure")
+	}
+}
+
+// TestNoCacheOwnerServesWaiters exercises θ=0: the core serves data and
+// never retains lines, so subsequent requesters fetch from memory.
+func TestNoCacheOwnerServesWaiters(t *testing.T) {
+	cfg := cfgN(3, config.TimerNoCache, config.TimerMSI, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Write}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write, Gap: 20}},
+		trace.Stream{{Addr: lineA, Kind: trace.Read, Gap: 40}},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cores[0].Hits != 0 {
+		t.Fatalf("θ=0 core hit %d times", run.Cores[0].Hits)
+	}
+	if e := sys.cores[0].l1.Lookup(sys.cores[0].l1.LineAddr(lineA)); e != nil {
+		t.Fatal("θ=0 core retained a line")
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViaMemoryReadChain checks PCC-style GetS chains: reader after writer
+// pays the write-back + re-fetch detour.
+func TestViaMemoryReadChain(t *testing.T) {
+	cfg := cfgN(2, config.TimerMSI, config.TimerMSI)
+	cfg.Transfer = config.TransferViaMemory
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Write}},
+		trace.Stream{{Addr: lineA, Kind: trace.Read, Gap: 100}},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reader's transfer: broadcast (4) + write-back + re-fetch (2×50) = 104.
+	if got := run.Cores[1].MaxMissLatency; got != 104 {
+		t.Fatalf("via-memory read latency = %d, want 104", got)
+	}
+	// Under direct transfers the same read costs one data latency.
+	direct := cfgN(2, config.TimerMSI, config.TimerMSI)
+	sys2, _ := New(direct, tr)
+	run2, err := sys2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run2.Cores[1].MaxMissLatency; got != 54 {
+		t.Fatalf("direct read latency = %d, want 54", got)
+	}
+}
+
+// TestPendulumNCrStarvationThenCompletion checks the unfair rule: the nCr
+// core is starved while the Cr core is active but still completes afterward.
+func TestPendulumNCrStarvationThenCompletion(t *testing.T) {
+	cfg := config.PENDULUM([]bool{true, false})
+	var cr, ncr trace.Stream
+	for i := 0; i < 40; i++ {
+		cr = append(cr, trace.Access{Addr: uint64(0x1000 + i*64), Kind: trace.Write})
+		ncr = append(ncr, trace.Access{Addr: uint64(0x100000 + i*64), Kind: trace.Write})
+	}
+	sys, err := New(cfg, mkTrace(cr, ncr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cores[1].Accesses != 40 {
+		t.Fatal("nCr core did not complete")
+	}
+	// The Cr core must finish well before the starved nCr core.
+	if run.Cores[0].FinishCycle >= run.Cores[1].FinishCycle {
+		t.Fatalf("Cr finished at %d, nCr at %d — starvation rule inactive",
+			run.Cores[0].FinishCycle, run.Cores[1].FinishCycle)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModeSwitchDuringPendingTransfer schedules the switch into the middle
+// of a timer wait: the pending requester's release is recomputed under the
+// new θ and the run completes coherently.
+func TestModeSwitchDuringPendingTransfer(t *testing.T) {
+	cfg := config.PaperDefaults(2, 2)
+	cfg.Cores[0].TimerLUT = []config.Timer{10_000, 10_000}
+	cfg.Cores[1].TimerLUT = []config.Timer{10_000, config.TimerMSI}
+	cfg.Cores[0].Criticality = 2
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Write, Gap: 200}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write}},
+	)
+	// Core 1 owns lineA at ~54 with a 10k-cycle timer; core 0 requests at
+	// ~200 and would wait until ~10054. The switch at 500 degrades core 1
+	// to MSI, releasing the line immediately.
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ScheduleModeSwitch(500, 2); err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cycles > 2000 {
+		t.Fatalf("mode switch did not release the pending transfer: makespan %d", run.Cycles)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyAndSingleAccessStreams covers degenerate workloads.
+func TestEmptyAndSingleAccessStreams(t *testing.T) {
+	cfg := cfgN(3, 100, config.TimerMSI, config.TimerNoCache)
+	tr := mkTrace(
+		trace.Stream{},
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+		trace.Stream{},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cores[0].Accesses != 0 || run.Cores[1].Accesses != 1 || run.Cores[2].Accesses != 0 {
+		t.Fatalf("counts: %+v", run.Cores)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelfEvictionReleasesWaiters: the owner evicts the requested line by
+// its own replacement before the timer expires; the waiter is then served
+// from memory without waiting out the full timer.
+func TestSelfEvictionReleasesWaiters(t *testing.T) {
+	cfg := cfgN(2, 100_00, config.TimerMSI) // very long timer on core 0
+	// lineA and lineConflict map to the same direct-mapped set (256 sets).
+	lineConflict := lineA + 256*64
+	tr := mkTrace(
+		trace.Stream{
+			{Addr: lineA, Kind: trace.Write},
+			{Addr: lineConflict, Kind: trace.Write, Gap: 100}, // evicts lineA
+		},
+		trace.Stream{{Addr: lineA, Kind: trace.Write, Gap: 20}},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 1's request would wait 10000 cycles on the timer; the eviction
+	// at ~210 releases it far earlier.
+	if got := run.Cores[1].MaxMissLatency; got > 1000 {
+		t.Fatalf("waiter not released by self-eviction: latency %d", got)
+	}
+	if run.Cores[0].Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", run.Cores[0].Writebacks)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExclusiveEvictionIsClean: evicting an E line must not count as a
+// writeback (the copy is clean).
+func TestExclusiveEvictionIsClean(t *testing.T) {
+	cfg := mesiCfg(1, config.TimerMSI)
+	lineConflict := lineA + 256*64
+	tr := mkTrace(trace.Stream{
+		{Addr: lineA, Kind: trace.Read},
+		{Addr: lineConflict, Kind: trace.Read, Gap: 10},
+	})
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cores[0].Writebacks != 0 {
+		t.Fatalf("clean E eviction counted as writeback: %d", run.Cores[0].Writebacks)
+	}
+	e := sys.cores[0].l1.Lookup(sys.cores[0].l1.LineAddr(lineA))
+	if e != nil {
+		t.Fatal("conflicting fill did not evict the E line")
+	}
+	if got := sys.cores[0].l1.Lookup(sys.cores[0].l1.LineAddr(uint64(lineConflict))); got == nil || got.State != cache.Exclusive {
+		t.Fatalf("replacement fill = %+v, want Exclusive", got)
+	}
+}
+
+// TestTDMRescheduleOnModeSwitch is the regression test for a livelock: a
+// core that becomes critical after a mode switch owned no slot in the
+// statically built TDM schedule, and the PENDULUM crit-only rule forbids
+// serving critical cores in idle slots — so its requests were never granted.
+// The schedule must be reprogrammed with the mode.
+func TestTDMRescheduleOnModeSwitch(t *testing.T) {
+	cfg := config.PaperDefaults(2, 2)
+	cfg.Arbiter = config.ArbiterTDM
+	cfg.PendulumCritOnly = true
+	cfg.Mode = 2 // only core 1 is critical initially
+	cfg.Cores[0].Criticality = 1
+	cfg.Cores[1].Criticality = 2
+	cfg.Cores[0].TimerLUT = []config.Timer{config.TimerMSI, config.TimerMSI}
+	cfg.Cores[1].TimerLUT = []config.Timer{100, 100}
+	var s0, s1 trace.Stream
+	for i := 0; i < 50; i++ {
+		s0 = append(s0, trace.Access{Addr: uint64(0x1000 + i*64), Kind: trace.Write, Gap: 2})
+		s1 = append(s1, trace.Access{Addr: uint64(0x100000 + i*64), Kind: trace.Write, Gap: 2})
+	}
+	sys, err := New(cfg, mkTrace(s0, s1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Switch down to mode 1: core 0 becomes critical mid-run.
+	if err := sys.ScheduleModeSwitch(300, 1); err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatalf("livelock regression: %v", err)
+	}
+	if run.Cores[0].Accesses != 50 || run.Cores[1].Accesses != 50 {
+		t.Fatalf("cores did not complete: %+v", run.Cores)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}

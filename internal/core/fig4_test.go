@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+// TestFig4ExampleOperation reproduces the paper's Fig. 4 walk-through: a
+// quad-core system where c0, c1 and c3 run the time-based protocol and c2
+// runs MSI; all four cores issue a write to cache line A. The narrated
+// behaviour:
+//
+//  1. c0 (head of the RROF order) fetches A first and starts θ0.
+//  2. c1's request waits for θ0 to expire, then A moves c0 → c1 and θ1
+//     starts; c1 only then loses its RROF position.
+//  3. c2 (MSI) waits for θ1, receives A from c1 …
+//  4. … and, running MSI, hands it to c3 immediately — no timer wait.
+func TestFig4ExampleOperation(t *testing.T) {
+	const (
+		theta0 = 200
+		theta1 = 150
+		theta3 = 120
+	)
+	cfg := cfgN(4, theta0, theta1, config.TimerMSI, theta3)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Write}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write}},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []TraceEvent
+	if err := sys.SetTracer(tracerFunc(func(ev TraceEvent) { evs = append(evs, ev) })); err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Completion order is the FIFO of the broadcasts: c0, c1, c2, c3.
+	var missEnds []TraceEvent
+	for _, ev := range evs {
+		if ev.Kind == EvMissEnd {
+			missEnds = append(missEnds, ev)
+		}
+	}
+	if len(missEnds) != 4 {
+		t.Fatalf("miss completions = %d, want 4", len(missEnds))
+	}
+	for i, ev := range missEnds {
+		if ev.Core != i {
+			t.Fatalf("completion %d by core %d, want core %d (RROF/FIFO order)", i, ev.Core, i)
+		}
+	}
+
+	// ① c0: uncontended fetch from the shared memory: 54 cycles.
+	c0Done := missEnds[0].Cycle
+	if c0Done != 54 {
+		t.Fatalf("c0 served at %d, want 54", c0Done)
+	}
+	// ② c1 waits out θ0 from c0's fill, then a 50-cycle transfer:
+	// release = 54 + 200 = 254, data until 304.
+	c1Done := missEnds[1].Cycle
+	if c1Done != c0Done+theta0+50 {
+		t.Fatalf("c1 served at %d, want %d (θ0 wait + transfer)", c1Done, c0Done+theta0+50)
+	}
+	// ③ c2 waits out θ1 from c1's fill: release = 304 + 150, data until 504.
+	c2Done := missEnds[2].Cycle
+	if c2Done != c1Done+theta1+50 {
+		t.Fatalf("c2 served at %d, want %d (θ1 wait + transfer)", c2Done, c1Done+theta1+50)
+	}
+	// ④ c2 runs MSI: it gives A to c3 immediately — just the transfer, no
+	// timer wait ("since c2 is running with MSI, it has to immediately give
+	// up the data to the next requester, c3").
+	c3Done := missEnds[3].Cycle
+	if c3Done != c2Done+50 {
+		t.Fatalf("c3 served at %d, want %d (immediate MSI handover)", c3Done, c2Done+50)
+	}
+
+	// The final owner is c3 with version 4 (every write committed once).
+	li := sys.dir.Peek(sys.cores[0].l1.LineAddr(lineA))
+	if li == nil || li.Owner != 3 || li.Version != 4 {
+		t.Fatalf("final line state = %+v, want owner 3 version 4", li)
+	}
+	_ = run
+}
+
+// tracerFunc adapts a function to the Tracer interface.
+type tracerFunc func(TraceEvent)
+
+func (f tracerFunc) Trace(ev TraceEvent) { f(ev) }

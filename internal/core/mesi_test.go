@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"cohort/internal/cache"
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+// mesiCfg returns a MESI platform with the given timers.
+func mesiCfg(n int, timers ...config.Timer) *config.System {
+	cfg := cfgN(n, timers...)
+	cfg.Snoop = config.SnoopMESI
+	return cfg
+}
+
+func TestMESISilentUpgrade(t *testing.T) {
+	// Read then write the same line: under MSI this is two bus transactions
+	// (fill S + upgrade); under MESI the read fills Exclusive and the write
+	// upgrades silently.
+	tr := mkTrace(trace.Stream{
+		{Addr: lineA, Kind: trace.Read},
+		{Addr: lineA, Kind: trace.Write},
+	})
+	run := func(cfg *config.System) (misses, upgrades int64) {
+		sys, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.CheckCoherence(); err != nil {
+			t.Fatal(err)
+		}
+		return r.Cores[0].Misses, r.Cores[0].Upgrades
+	}
+	msiMiss, msiUp := run(cfgN(1, config.TimerMSI))
+	mesiMiss, mesiUp := run(mesiCfg(1, config.TimerMSI))
+	if msiMiss != 2 || msiUp != 1 {
+		t.Fatalf("MSI: %d misses %d upgrades, want 2/1", msiMiss, msiUp)
+	}
+	if mesiMiss != 1 || mesiUp != 0 {
+		t.Fatalf("MESI: %d misses %d upgrades, want 1/0 (silent E→M)", mesiMiss, mesiUp)
+	}
+}
+
+func TestMESIExclusiveOnlyWhenUnshared(t *testing.T) {
+	// Core 1 reads a line core 0 already shares: the fill must be S, not E,
+	// and a later write by core 1 must still be an upgrade transaction.
+	cfg := mesiCfg(2, config.TimerMSI, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+		trace.Stream{{Addr: lineA, Kind: trace.Read, Gap: 200}, {Addr: lineA, Kind: trace.Write, Gap: 50}},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cores[1].Upgrades != 1 {
+		t.Fatalf("shared fill must not be Exclusive: upgrades = %d, want 1", r.Cores[1].Upgrades)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIExclusiveState(t *testing.T) {
+	cfg := mesiCfg(1, config.TimerMSI)
+	tr := mkTrace(trace.Stream{{Addr: lineA, Kind: trace.Read}})
+	sys, _ := New(cfg, tr)
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e := sys.cores[0].l1.Lookup(sys.cores[0].l1.LineAddr(lineA))
+	if e == nil || e.State != cache.Exclusive {
+		t.Fatalf("lone read fill = %+v, want Exclusive", e)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIRemoteReadDowngradesExclusive(t *testing.T) {
+	// Core 0 fills E; core 1 reads the same line: both end Shared.
+	cfg := mesiCfg(2, config.TimerMSI, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+		trace.Stream{{Addr: lineA, Kind: trace.Read, Gap: 200}},
+	)
+	sys, _ := New(cfg, tr)
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		e := sys.cores[i].l1.Lookup(sys.cores[i].l1.LineAddr(lineA))
+		if e == nil || e.State != cache.Shared {
+			t.Fatalf("core %d state = %v, want Shared after remote read", i, e)
+		}
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIRemoteWriteInvalidatesExclusive(t *testing.T) {
+	cfg := mesiCfg(2, config.TimerMSI, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write, Gap: 200}},
+	)
+	sys, _ := New(cfg, tr)
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e := sys.cores[0].l1.Lookup(sys.cores[0].l1.LineAddr(lineA)); e != nil {
+		t.Fatalf("E copy must be invalidated by remote write, got %v", e.State)
+	}
+	e := sys.cores[1].l1.Lookup(sys.cores[1].l1.LineAddr(lineA))
+	if e == nil || e.State != cache.Modified {
+		t.Fatalf("writer state = %v, want Modified", e)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIWithTimers(t *testing.T) {
+	// Timed MESI core: the Exclusive fill is timer-protected like an M line;
+	// a remote writer waits out the timer.
+	cfg := mesiCfg(2, 100, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write, Gap: 20}},
+	)
+	sys, _ := New(cfg, tr)
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 fills E at 54 with θ=100 (release 154); core 1's write waits:
+	// data 154..204, latency 204-20 = 184.
+	if got := r.Cores[1].MaxMissLatency; got != 184 {
+		t.Fatalf("writer latency = %d, want 184 (timer-protected E)", got)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIFullWorkloadCoherent(t *testing.T) {
+	p, _ := trace.ProfileByName("radix")
+	tr := p.Scaled(0.03).Generate(4, 64, 9)
+	for _, timers := range [][]config.Timer{
+		{config.TimerMSI, config.TimerMSI, config.TimerMSI, config.TimerMSI},
+		{200, 100, 50, config.TimerMSI},
+	} {
+		cfg := mesiCfg(4, timers...)
+		sys, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runMESI, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.CheckCoherence(); err != nil {
+			t.Fatalf("timers %v: %v", timers, err)
+		}
+		// MESI must not lose hits relative to MSI on the same workload.
+		msiSys, err := New(cfgN(4, timers...), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runMSI, err := msiSys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hitsMESI, hitsMSI, upMESI, upMSI int64
+		for i := 0; i < 4; i++ {
+			hitsMESI += runMESI.Cores[i].Hits
+			hitsMSI += runMSI.Cores[i].Hits
+			upMESI += runMESI.Cores[i].Upgrades
+			upMSI += runMSI.Cores[i].Upgrades
+		}
+		if hitsMESI < hitsMSI {
+			t.Fatalf("timers %v: MESI hits %d below MSI %d", timers, hitsMESI, hitsMSI)
+		}
+		if upMESI >= upMSI {
+			t.Fatalf("timers %v: MESI upgrades %d not below MSI %d", timers, upMESI, upMSI)
+		}
+	}
+}
+
+func TestSnoopJSONRoundTrip(t *testing.T) {
+	cfg := mesiCfg(2, config.TimerMSI, config.TimerMSI)
+	data, err := cfg.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := config.ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Snoop != config.SnoopMESI {
+		t.Fatal("snoop protocol lost in JSON round trip")
+	}
+	var sp config.Snoop
+	if err := sp.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("unknown snoop accepted")
+	}
+}

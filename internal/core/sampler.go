@@ -1,0 +1,66 @@
+package core
+
+import "errors"
+
+// LatencySample is one point of a per-core cumulative-latency time series.
+type LatencySample struct {
+	// At is the sampling cycle.
+	At int64
+	// Cumulative is the core's total memory latency up to At.
+	Cumulative int64
+	// Window is the latency accumulated since the previous sample.
+	Window int64
+	// Mode is the operating mode at the sample.
+	Mode int
+}
+
+// SampleLatency arranges for one core's memory latency to be sampled every
+// window cycles during the run — the measured counterpart of the WCML-over-
+// time plot in Fig. 7a. Must be called before Run; retrieve the series with
+// LatencySeries afterward.
+func (s *System) SampleLatency(core int, window int64) error {
+	if s.ran {
+		return errors.New("core: SampleLatency after Run")
+	}
+	if core < 0 || core >= len(s.cores) {
+		return errors.New("core: sampler core out of range")
+	}
+	if window <= 0 {
+		return errors.New("core: sampler window must be positive")
+	}
+	s.samplerCore = core
+	s.samplerWindow = window
+	s.samplerOn = true
+	return nil
+}
+
+// LatencySeries returns the samples collected during the run.
+func (s *System) LatencySeries() []LatencySample {
+	return append([]LatencySample(nil), s.samples...)
+}
+
+// startSampler schedules the first sample; called from Run.
+func (s *System) startSampler() {
+	if !s.samplerOn {
+		return
+	}
+	s.at(s.samplerWindow, s.samplerTick)
+}
+
+// samplerTick records one point and reschedules while the core is active.
+func (s *System) samplerTick(now int64) {
+	cum := s.run.Cores[s.samplerCore].TotalLatency
+	prev := int64(0)
+	if n := len(s.samples); n > 0 {
+		prev = s.samples[n-1].Cumulative
+	}
+	s.samples = append(s.samples, LatencySample{
+		At:         now,
+		Cumulative: cum,
+		Window:     cum - prev,
+		Mode:       s.mode,
+	})
+	if !s.cores[s.samplerCore].finished {
+		s.at(now+s.samplerWindow, s.samplerTick)
+	}
+}

@@ -1,0 +1,329 @@
+// Package core wires the full CoHoRT platform together: trace-driven cores
+// with non-blocking private caches, the snooping bus with pluggable
+// arbitration, the heterogeneous coherence engine (per-core timers, θ = −1
+// reducing to MSI), the shared LLC, and run-time mode switching through the
+// per-core Mode-Switch LUT. It is the cycle-accurate simulator substrate the
+// paper built on Octopus, rebuilt from scratch (DESIGN.md §1).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cohort/internal/bus"
+	"cohort/internal/cache"
+	"cohort/internal/coherence"
+	"cohort/internal/config"
+	"cohort/internal/memctrl"
+	"cohort/internal/sim"
+	"cohort/internal/stats"
+	"cohort/internal/trace"
+)
+
+// missState tracks one core's outstanding bus request (MSHR of depth 1).
+type missState struct {
+	line        uint64
+	write       bool
+	wasShared   bool  // upgrade: the core held the line in S
+	issuedAt    int64 // cycle the access started (latency base; FCFS key)
+	broadcasted bool
+	broadcastAt int64
+	dataReadyAt int64 // earliest cycle the data transfer may be granted; -1 unknown
+	inFlight    bool  // currently occupying the bus
+}
+
+// coreState is the simulator-side state of one core.
+type coreState struct {
+	id    int
+	l1    *cache.Cache
+	lut   *coherence.ModeLUT
+	theta config.Timer // timer register at the current mode
+
+	stream        trace.Stream
+	pos           int
+	nextEligible  int64 // earliest issue cycle of the next access
+	miss          *missState
+	maxCompletion int64
+	finished      bool
+	wakeAt        int64 // scheduled coreWake cycle (-1 none)
+}
+
+// System is a runnable simulation instance. Build one with New, run it with
+// Run; a System is single-use.
+type System struct {
+	cfg *config.System
+	eng *sim.Engine
+	arb bus.Arbiter
+	llc *memctrl.LLC
+	dir *coherence.Directory
+
+	cores []*coreState
+	run   *stats.Run
+	mode  int
+
+	busBusyUntil  int64
+	busHeld       bool // a transaction owner may still extend its tenure
+	kickScheduled map[int64]bool
+	contention    map[uint64]*LineContention
+
+	modeSwitches  []scheduledSwitch
+	tracer        Tracer
+	samplerOn     bool
+	samplerCore   int
+	samplerWindow int64
+	samples       []LatencySample
+	governor      *Governor
+	governorLog   []GovernorDecision
+	governorLast  int64
+	ran           bool
+}
+
+type scheduledSwitch struct {
+	at   int64
+	mode int
+}
+
+// New builds a system from a validated configuration and a workload trace
+// with one stream per core.
+func New(cfg *config.System, tr *trace.Trace) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.NumCores() != cfg.N() {
+		return nil, fmt.Errorf("core: trace has %d streams for %d cores", tr.NumCores(), cfg.N())
+	}
+	cfg = cfg.Clone()
+
+	var arb bus.Arbiter
+	switch cfg.Arbiter {
+	case config.ArbiterRROF:
+		arb = bus.NewRROF(cfg.N())
+	case config.ArbiterRR:
+		arb = bus.NewRR(cfg.N())
+	case config.ArbiterFCFS:
+		arb = bus.NewFCFS()
+	case config.ArbiterTDM:
+		crit := make([]bool, cfg.N())
+		for i := range crit {
+			crit[i] = cfg.Critical(i)
+		}
+		arb = bus.NewTDM(crit, cfg.Lat.SlotWidth(), cfg.PendulumCritOnly)
+	default:
+		return nil, fmt.Errorf("core: unknown arbiter %v", cfg.Arbiter)
+	}
+
+	s := &System{
+		cfg:           cfg,
+		eng:           sim.New(),
+		arb:           arb,
+		llc:           memctrl.New(cfg.LLC, cfg.PerfectLLC, cfg.Lat.DRAM),
+		dir:           coherence.NewDirectory(),
+		run:           stats.NewRun(cfg.N()),
+		mode:          cfg.Mode,
+		kickScheduled: make(map[int64]bool),
+		contention:    make(map[uint64]*LineContention),
+	}
+	for i := 0; i < cfg.N(); i++ {
+		lut, err := coherence.NewModeLUT(cfg.Cores[i].TimerLUT)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, &coreState{
+			id:     i,
+			l1:     cache.New(cfg.L1.SizeBytes, cfg.L1.LineBytes, cfg.L1.Ways),
+			lut:    lut,
+			theta:  cfg.Cores[i].TimerAt(cfg.Mode),
+			stream: tr.Streams[i],
+			wakeAt: -1,
+		})
+	}
+	return s, nil
+}
+
+// at schedules fn at an absolute cycle; scheduling in the past is a
+// simulator bug, so it panics rather than returning an error.
+func (s *System) at(cycle int64, fn func(now int64)) {
+	if err := s.eng.ScheduleAt(sim.Cycle(cycle), func(now sim.Cycle) { fn(int64(now)) }); err != nil {
+		panic(err)
+	}
+}
+
+// Mode returns the current operating mode.
+func (s *System) Mode() int { return s.mode }
+
+// Config returns the system's (cloned) configuration.
+func (s *System) Config() *config.System { return s.cfg }
+
+// ScheduleModeSwitch arranges a switch to the given mode at the given cycle.
+// Must be called before Run.
+func (s *System) ScheduleModeSwitch(at int64, mode int) error {
+	if s.ran {
+		return errors.New("core: ScheduleModeSwitch after Run")
+	}
+	if mode < 1 || mode > s.cfg.Levels {
+		return fmt.Errorf("core: mode %d out of range [1,%d]", mode, s.cfg.Levels)
+	}
+	if at < 0 {
+		return fmt.Errorf("core: negative switch cycle %d", at)
+	}
+	s.modeSwitches = append(s.modeSwitches, scheduledSwitch{at: at, mode: mode})
+	return nil
+}
+
+// ErrDeadlock is returned by Run when the event queue drains with unfinished
+// cores — a protocol bug, never expected in a correct build.
+var ErrDeadlock = errors.New("core: simulation deadlocked")
+
+// Run executes the workload to completion and returns the measurements.
+func (s *System) Run() (*stats.Run, error) {
+	if s.ran {
+		return nil, errors.New("core: System is single-use")
+	}
+	s.ran = true
+	// Livelock guard: a correct protocol finishes every access within its
+	// (loose) per-request bound; anything beyond this generous budget is a
+	// protocol bug and fails fast instead of hanging the caller.
+	var totalAccesses int64
+	for _, c := range s.cores {
+		totalAccesses += int64(len(c.stream))
+	}
+	s.eng.SetBudget(sim.Cycle(10_000_000 + totalAccesses*1_000_000))
+	for _, sw := range s.modeSwitches {
+		sw := sw
+		s.at(sw.at, func(now int64) { s.applyModeSwitch(now, sw.mode) })
+	}
+	s.startGovernor()
+	s.startSampler()
+	for _, c := range s.cores {
+		c := c
+		if len(c.stream) == 0 {
+			c.finished = true
+			continue
+		}
+		c.nextEligible = c.stream[0].Gap
+		s.at(c.nextEligible, func(now int64) { s.coreWake(c, now) })
+	}
+	if err := s.eng.Run(); err != nil {
+		return nil, err
+	}
+	for _, c := range s.cores {
+		if !c.finished {
+			return nil, fmt.Errorf("%w: core %d stalled at access %d/%d",
+				ErrDeadlock, c.id, c.pos, len(c.stream))
+		}
+		s.run.Cores[c.id].FinishCycle = c.maxCompletion
+		if c.maxCompletion > s.run.Cycles {
+			s.run.Cycles = c.maxCompletion
+		}
+	}
+	return s.run, nil
+}
+
+// applyModeSwitch re-programs every core's timer register from its
+// Mode-Switch LUT (paper §VI) and re-bases the timer epochs of resident
+// lines at the switch instant.
+func (s *System) applyModeSwitch(now int64, mode int) {
+	if mode == s.mode {
+		return
+	}
+	s.mode = mode
+	s.run.ModeSwitches++
+	s.emit(TraceEvent{Cycle: now, Kind: EvModeSwitch, Core: -1, Line: uint64(mode)})
+	for _, c := range s.cores {
+		th, err := c.lut.Lookup(mode)
+		if err != nil {
+			panic(err) // LUT length was validated against Levels
+		}
+		c.theta = th
+		// Re-base timer epochs: resident lines start a fresh epoch under the
+		// new θ. For θ = −1 this makes them plain MSI lines immediately.
+		c.l1.ForEach(func(e *cache.Entry) { e.FetchedAt = now })
+	}
+	// The TDM schedule is part of the mode configuration: reprogram it so
+	// every core critical at the new mode owns slots — a statically built
+	// schedule would strand a core that became critical (the crit-only rule
+	// forbids serving critical cores in idle slots), livelocking the bus.
+	if s.cfg.Arbiter == config.ArbiterTDM {
+		crit := make([]bool, s.cfg.N())
+		for i := range crit {
+			crit[i] = s.critical(i)
+		}
+		s.arb = bus.NewTDM(crit, s.cfg.Lat.SlotWidth(), s.cfg.PendulumCritOnly)
+	}
+	// Owner epochs follow the re-based entries; recompute pending releases.
+	s.dir.ForEach(func(line uint64, li *coherence.LineInfo) {
+		if li.Owner != coherence.MemOwner {
+			li.OwnerFetch = now
+		}
+		if li.PendingInv() {
+			s.refreshLine(line, li, now)
+		}
+	})
+	s.kickArbiter(now)
+}
+
+// Critical reports whether core i is critical at the current (dynamic) mode.
+func (s *System) critical(i int) bool { return s.cfg.Cores[i].Criticality >= s.mode }
+
+// pinnedInL1 reports whether some timed core currently holds the line; the
+// LLC never back-invalidates such lines (non-perfect mode).
+func (s *System) pinnedInL1(line uint64) bool {
+	for _, c := range s.cores {
+		if c.theta.Timed() && c.l1.Lookup(line) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckCoherence validates the coherence invariants across all caches and
+// the directory: at most one Modified copy per line; a Modified copy excludes
+// all other copies; every valid copy is registered in the directory; and
+// every copy's data version matches the line's committed version. Intended
+// for tests; cost is proportional to cache capacity.
+func (s *System) CheckCoherence() error {
+	type copyInfo struct {
+		core  int
+		state cache.State
+		ver   uint64
+	}
+	copies := make(map[uint64][]copyInfo)
+	for _, c := range s.cores {
+		c.l1.ForEach(func(e *cache.Entry) {
+			copies[e.LineAddr] = append(copies[e.LineAddr], copyInfo{c.id, e.State, e.Version})
+		})
+	}
+	for line, cs := range copies {
+		li := s.dir.Peek(line)
+		if li == nil {
+			return fmt.Errorf("line %#x cached but not in directory", line)
+		}
+		modified := 0
+		for _, ci := range cs {
+			switch ci.state {
+			case cache.Modified, cache.Exclusive:
+				modified++
+				if li.Owner != ci.core {
+					return fmt.Errorf("line %#x: M in core %d but directory owner %d", line, ci.core, li.Owner)
+				}
+				if li.OwnerReleased {
+					return fmt.Errorf("line %#x: M copy present but marked released", line)
+				}
+			case cache.Shared:
+				if !li.IsSharer(ci.core) {
+					return fmt.Errorf("line %#x: S in core %d not registered as sharer", line, ci.core)
+				}
+			}
+			if ci.ver != li.Version {
+				return fmt.Errorf("line %#x: core %d holds version %d, committed %d", line, ci.core, ci.ver, li.Version)
+			}
+		}
+		if modified > 1 {
+			return fmt.Errorf("line %#x: %d owned (M/E) copies", line, modified)
+		}
+		if modified == 1 && len(cs) > 1 {
+			return fmt.Errorf("line %#x: owned copy coexists with %d other copies", line, len(cs)-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+// mkTrace builds a trace from per-core access lists.
+func mkTrace(streams ...trace.Stream) *trace.Trace {
+	return &trace.Trace{Name: "test", Streams: streams}
+}
+
+// cfgN returns paper defaults for n cores with the given mode-1 timers.
+func cfgN(n int, timers ...config.Timer) *config.System {
+	cfg := config.PaperDefaults(n, 1)
+	if len(timers) > 0 {
+		if err := cfg.SetTimers(1, timers); err != nil {
+			panic(err)
+		}
+	}
+	return cfg
+}
+
+const lineA = uint64(0x1000)
+const lineB = uint64(0x2000)
+
+func TestSingleCoreMissThenHit(t *testing.T) {
+	cfg := cfgN(1, config.TimerMSI)
+	tr := mkTrace(trace.Stream{
+		{Addr: lineA, Kind: trace.Write},
+		{Addr: lineA, Kind: trace.Read},
+	})
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := run.Cores[0]
+	if c.Accesses != 2 || c.Misses != 1 || c.Hits != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+	// Uncontended miss: broadcast (4) fused with data (50) = 54 cycles.
+	if c.MaxMissLatency != 54 {
+		t.Fatalf("miss latency = %d, want 54", c.MaxMissLatency)
+	}
+	if c.TotalLatency != 55 {
+		t.Fatalf("total latency = %d, want 55 (54 + 1 hit)", c.TotalLatency)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatalf("coherence: %v", err)
+	}
+}
+
+func TestTwoCoreMSIHandover(t *testing.T) {
+	cfg := cfgN(2, config.TimerMSI, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Write}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write}},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 wins the bus (RROF order), finishes at 54. Core 1 broadcasts
+	// 54..58, the MSI owner hands over immediately, data 58..108.
+	if got := run.Cores[0].MaxMissLatency; got != 54 {
+		t.Fatalf("core0 latency = %d, want 54", got)
+	}
+	if got := run.Cores[1].MaxMissLatency; got != 108 {
+		t.Fatalf("core1 latency = %d, want 108", got)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatalf("coherence: %v", err)
+	}
+}
+
+// TestFig1Tradeoff reproduces the paper's motivating example (Fig. 1): under
+// the time-based protocol the owner keeps streaming hits while the remote
+// writer waits out the timer; under MSI the owner loses the line immediately,
+// so the remote writer is served fast but the owner's later accesses miss.
+func TestFig1Tradeoff(t *testing.T) {
+	mk := func(theta0 config.Timer) (ownerHits, ownerMisses, writerLat int64) {
+		cfg := cfgN(2, theta0, config.TimerMSI)
+		var s0 trace.Stream
+		s0 = append(s0, trace.Access{Addr: lineA, Kind: trace.Write})
+		for i := 0; i < 5; i++ {
+			s0 = append(s0, trace.Access{Addr: lineA, Kind: trace.Read, Gap: 10})
+		}
+		tr := mkTrace(s0, trace.Stream{{Addr: lineA, Kind: trace.Write}})
+		sys, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.CheckCoherence(); err != nil {
+			t.Fatalf("coherence: %v", err)
+		}
+		return run.Cores[0].Hits, run.Cores[0].Misses, run.Cores[1].MaxMissLatency
+	}
+	timedHits, timedMisses, timedWriterLat := mk(100)
+	msiHits, msiMisses, msiWriterLat := mk(config.TimerMSI)
+	if timedHits != 5 || timedMisses != 1 {
+		t.Fatalf("timed owner: %d hits %d misses, want 5/1", timedHits, timedMisses)
+	}
+	// Owner installs at 54, θ=100 protects to 154; writer's request is
+	// visible at 58, released at 154, data till 204.
+	if timedWriterLat != 204 {
+		t.Fatalf("timed writer latency = %d, want 204", timedWriterLat)
+	}
+	if msiWriterLat != 108 {
+		t.Fatalf("MSI writer latency = %d, want 108", msiWriterLat)
+	}
+	if msiHits >= timedHits {
+		t.Fatalf("MSI owner hits %d must be below timed %d", msiHits, timedHits)
+	}
+	if msiMisses <= timedMisses {
+		t.Fatalf("MSI owner misses %d must exceed timed %d", msiMisses, timedMisses)
+	}
+}
+
+func TestTimerNoCacheNeverHits(t *testing.T) {
+	cfg := cfgN(1, config.TimerNoCache)
+	var s trace.Stream
+	for i := 0; i < 5; i++ {
+		s = append(s, trace.Access{Addr: lineA, Kind: trace.Write})
+	}
+	sys, err := New(cfg, mkTrace(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cores[0].Hits != 0 || run.Cores[0].Misses != 5 {
+		t.Fatalf("θ=0 core: %d hits %d misses, want 0/5", run.Cores[0].Hits, run.Cores[0].Misses)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeCounted(t *testing.T) {
+	cfg := cfgN(1, config.TimerMSI)
+	tr := mkTrace(trace.Stream{
+		{Addr: lineA, Kind: trace.Read},
+		{Addr: lineA, Kind: trace.Write},
+	})
+	sys, _ := New(cfg, tr)
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cores[0].Upgrades != 1 {
+		t.Fatalf("Upgrades = %d, want 1", run.Cores[0].Upgrades)
+	}
+	if run.Cores[0].Misses != 2 {
+		t.Fatalf("Misses = %d (read miss + upgrade)", run.Cores[0].Misses)
+	}
+}
+
+func TestReadSharing(t *testing.T) {
+	cfg := cfgN(3, config.TimerMSI, config.TimerMSI, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+	)
+	sys, _ := New(cfg, tr)
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range run.Cores {
+		if run.Cores[i].Misses != 1 {
+			t.Fatalf("core %d misses = %d", i, run.Cores[i].Misses)
+		}
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	// Cores 0,1 read the line; then core 2 writes it; then core 0 reads it
+	// again (a coherence miss under MSI).
+	cfg := cfgN(3, config.TimerMSI, config.TimerMSI, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Read}, {Addr: lineA, Kind: trace.Read, Gap: 600}},
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write, Gap: 200}},
+	)
+	sys, _ := New(cfg, tr)
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cores[0].Misses != 2 {
+		t.Fatalf("core0 misses = %d, want 2 (initial + after remote write)", run.Cores[0].Misses)
+	}
+	if run.Cores[0].Invalidations != 1 {
+		t.Fatalf("core0 invalidations = %d, want 1", run.Cores[0].Invalidations)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeSwitchDegradesToMSI(t *testing.T) {
+	lat := func(withSwitch bool) int64 {
+		cfg := config.PaperDefaults(2, 2)
+		cfg.Cores[0].Criticality = 2
+		cfg.Cores[1].Criticality = 1
+		cfg.Cores[0].TimerLUT = []config.Timer{100, 100}
+		cfg.Cores[1].TimerLUT = []config.Timer{100, config.TimerMSI}
+		tr := mkTrace(
+			trace.Stream{{Addr: lineA, Kind: trace.Write, Gap: 200}},
+			trace.Stream{{Addr: lineA, Kind: trace.Write}},
+		)
+		sys, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withSwitch {
+			if err := sys.ScheduleModeSwitch(100, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withSwitch {
+			if sys.Mode() != 2 || run.ModeSwitches != 1 {
+				t.Fatalf("mode = %d switches = %d", sys.Mode(), run.ModeSwitches)
+			}
+		}
+		if err := sys.CheckCoherence(); err != nil {
+			t.Fatal(err)
+		}
+		return run.Cores[0].MaxMissLatency
+	}
+	with := lat(true)
+	without := lat(false)
+	// Core 1 owns the line when core 0 requests it at ~200. With the switch
+	// core 1 runs MSI and releases immediately; without it core 0 waits out
+	// core 1's timer.
+	if with >= without {
+		t.Fatalf("mode switch did not reduce latency: with=%d without=%d", with, without)
+	}
+	if with != 54 {
+		t.Fatalf("degraded handover latency = %d, want 54", with)
+	}
+}
+
+func TestScheduleModeSwitchValidation(t *testing.T) {
+	cfg := config.PaperDefaults(1, 2)
+	sys, _ := New(cfg, mkTrace(trace.Stream{{Addr: lineA}}))
+	if err := sys.ScheduleModeSwitch(10, 3); err == nil {
+		t.Fatal("out-of-range mode accepted")
+	}
+	if err := sys.ScheduleModeSwitch(-1, 1); err == nil {
+		t.Fatal("negative cycle accepted")
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ScheduleModeSwitch(10, 2); err == nil {
+		t.Fatal("ScheduleModeSwitch after Run accepted")
+	}
+	if _, err := sys.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := config.PaperDefaults(2, 1)
+	if _, err := New(cfg, mkTrace(trace.Stream{})); err == nil {
+		t.Fatal("stream-count mismatch accepted")
+	}
+	bad := config.PaperDefaults(2, 1)
+	bad.Mode = 9
+	if _, err := New(bad, mkTrace(trace.Stream{}, trace.Stream{})); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestVersionPropagation(t *testing.T) {
+	// Core 0 writes the line three times (one miss + two write hits), then
+	// core 1 reads it: the read must observe version 3 (checked by
+	// CheckCoherence's version comparison after the run).
+	cfg := cfgN(2, config.TimerMSI, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{
+			{Addr: lineA, Kind: trace.Write},
+			{Addr: lineA, Kind: trace.Write},
+			{Addr: lineA, Kind: trace.Write},
+		},
+		trace.Stream{{Addr: lineA, Kind: trace.Read, Gap: 300}},
+	)
+	sys, _ := New(cfg, tr)
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	li := sys.dir.Peek(sys.cores[0].l1.LineAddr(lineA))
+	if li == nil || li.Version != 3 {
+		t.Fatalf("line version = %+v, want 3", li)
+	}
+	e := sys.cores[1].l1.Lookup(sys.cores[1].l1.LineAddr(lineA))
+	if e == nil || e.Version != 3 {
+		t.Fatalf("reader copy = %+v, want version 3", e)
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := trace.ProfileByName("fft")
+	tr := p.Scaled(0.02).Generate(4, 64, 123)
+	runOnce := func() string {
+		cfg := cfgN(4, 100, 50, config.TimerMSI, config.TimerMSI)
+		sys, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.String()
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("nondeterministic runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestAllPresetsCompleteAndStayCoherent runs a real (scaled) workload through
+// every system variant and checks completion, accounting, and coherence.
+func TestAllPresetsCompleteAndStayCoherent(t *testing.T) {
+	p, err := trace.ProfileByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Scaled(0.03).Generate(4, 64, 42)
+	cohort, err := config.CoHoRT(4, 1, []config.Timer{200, 100, 50, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*config.System{
+		"cohort":   cohort,
+		"pcc":      config.PCC(4),
+		"pendulum": config.PENDULUM([]bool{true, true, false, false}),
+		"msifcfs":  config.MSIFCFS(4),
+	}
+	for name, cfg := range cases {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			sys, err := New(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range run.Cores {
+				if got, want := run.Cores[i].Accesses, int64(tr.Lambda(i)); got != want {
+					t.Fatalf("core %d completed %d/%d accesses", i, got, want)
+				}
+			}
+			if run.Cycles <= 0 || run.BusBusy <= 0 {
+				t.Fatalf("degenerate run: %+v", run)
+			}
+			if run.BusUtilization() > 1.0 {
+				t.Fatalf("bus over-utilized: %f", run.BusUtilization())
+			}
+			if err := sys.CheckCoherence(); err != nil {
+				t.Fatalf("coherence: %v", err)
+			}
+		})
+	}
+}
+
+func TestTimedCoresOutperformMSIUnderSharing(t *testing.T) {
+	// With heavy sharing, timed cores should retain more hits than MSI cores
+	// on the same workload.
+	p := trace.Profile{
+		Name: "hotshare", AccessesPerCore: 800, SharedLines: 16, PrivateLines: 64,
+		PShared: 0.8, ZipfS: 0.9, PWrite: 0.5, PRepeat: 0.5, RepeatWindow: 4, MeanGap: 2,
+	}
+	tr := p.Generate(4, 64, 7)
+	hits := func(timers []config.Timer) int64 {
+		cfg := cfgN(4, timers...)
+		sys, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h int64
+		for i := range run.Cores {
+			h += run.Cores[i].Hits
+		}
+		return h
+	}
+	timed := hits([]config.Timer{500, 500, 500, 500})
+	msi := hits([]config.Timer{config.TimerMSI, config.TimerMSI, config.TimerMSI, config.TimerMSI})
+	if timed <= msi {
+		t.Fatalf("timed hits %d not above MSI hits %d under heavy sharing", timed, msi)
+	}
+}
+
+func TestRunStringSmoke(t *testing.T) {
+	cfg := cfgN(1, config.TimerMSI)
+	sys, _ := New(cfg, mkTrace(trace.Stream{{Addr: lineA}}))
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(run.String(), "core 0") {
+		t.Fatal("run string missing core line")
+	}
+}
+
+func TestConfigAccessorAndEventStrings(t *testing.T) {
+	cfg := cfgN(1, config.TimerMSI)
+	sys, _ := New(cfg, mkTrace(trace.Stream{{Addr: lineA}}))
+	got := sys.Config()
+	if got.N() != 1 || got == cfg {
+		t.Fatal("Config must return the cloned config")
+	}
+	names := map[EventKind]string{
+		EvBroadcast: "broadcast", EvData: "data", EvMissStart: "miss-start",
+		EvMissEnd: "miss-end", EvInvalidate: "invalidate", EvModeSwitch: "mode-switch",
+		EventKind(99): "event",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("EventKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import "errors"
+
+// EventKind classifies the micro-architectural events the simulator can
+// stream to an attached Tracer (e.g. the VCD waveform recorder in
+// internal/vcd).
+type EventKind uint8
+
+const (
+	// EvBroadcast: a request broadcast occupies the bus [Cycle, Until).
+	EvBroadcast EventKind = iota
+	// EvData: a data transfer occupies the bus [Cycle, Until).
+	EvData
+	// EvMissStart: the core's access missed and a bus request was created.
+	EvMissStart
+	// EvMissEnd: the miss completed (data received).
+	EvMissEnd
+	// EvInvalidate: the core's copy of Line was invalidated (remote request
+	// or back-invalidation).
+	EvInvalidate
+	// EvModeSwitch: the system switched operating mode (Line carries the
+	// new mode; Core is −1).
+	EvModeSwitch
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvBroadcast:
+		return "broadcast"
+	case EvData:
+		return "data"
+	case EvMissStart:
+		return "miss-start"
+	case EvMissEnd:
+		return "miss-end"
+	case EvInvalidate:
+		return "invalidate"
+	case EvModeSwitch:
+		return "mode-switch"
+	default:
+		return "event"
+	}
+}
+
+// TraceEvent is one simulator event. Events are delivered in nondecreasing
+// Cycle order.
+type TraceEvent struct {
+	Cycle int64
+	Kind  EventKind
+	Core  int
+	Line  uint64
+	// Until is the end of the bus occupancy for EvBroadcast/EvData.
+	Until int64
+}
+
+// Tracer receives simulator events; attach one with SetTracer.
+type Tracer interface {
+	Trace(TraceEvent)
+}
+
+// SetTracer attaches an event consumer. Must be called before Run. Passing
+// nil detaches. Tracing has zero cost when no tracer is attached.
+func (s *System) SetTracer(t Tracer) error {
+	if s.ran {
+		return errors.New("core: SetTracer after Run")
+	}
+	s.tracer = t
+	return nil
+}
+
+// emit delivers an event to the attached tracer, if any.
+func (s *System) emit(ev TraceEvent) {
+	if s.tracer != nil {
+		s.tracer.Trace(ev)
+	}
+}

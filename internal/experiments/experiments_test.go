@@ -1,0 +1,496 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cohort/internal/analysis"
+	"cohort/internal/config"
+)
+
+func TestScenarios(t *testing.T) {
+	scs := Scenarios(4)
+	if len(scs) != 3 {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	count := func(c []bool) int {
+		n := 0
+		for _, v := range c {
+			if v {
+				n++
+			}
+		}
+		return n
+	}
+	if count(scs[0].Critical) != 4 || count(scs[1].Critical) != 2 || count(scs[2].Critical) != 1 {
+		t.Fatalf("criticality counts wrong: %+v", scs)
+	}
+	if _, err := ScenarioByName(4, "all-cr"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScenarioByName(4, "bogus"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Fatalf("geomean(2,8) = %f", g)
+	}
+	if geomean(nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+	if geomean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive values must yield 0")
+	}
+}
+
+func TestOptionsProfiles(t *testing.T) {
+	o := QuickOptions()
+	ps, err := o.profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	o.Benchmarks = []string{"bogus"}
+	if _, err := o.profiles(); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	// The cap applies.
+	o = DefaultOptions()
+	o.Benchmarks = []string{"ocean"}
+	o.MaxAccessesPerCore = 100
+	ps, err = o.profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].AccessesPerCore != 100 {
+		t.Fatalf("cap not applied: %d", ps[0].AccessesPerCore)
+	}
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	o := QuickOptions()
+	res, err := Fig5(o, "all-cr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Headline shape: CoHoRT bounds tighter than PCC, much tighter than
+	// PENDULUM.
+	if res.PCCRatio <= 1 {
+		t.Fatalf("PCC ratio %.2f must exceed 1 (CoHoRT tighter)", res.PCCRatio)
+	}
+	if res.PendulumRatio <= res.PCCRatio {
+		t.Fatalf("PENDULUM ratio %.2f must exceed PCC ratio %.2f", res.PendulumRatio, res.PCCRatio)
+	}
+	for _, row := range res.Rows {
+		for i := range row.CoHoRT.Exp {
+			if row.CoHoRT.Bound[i] != analysis.Unbounded && row.CoHoRT.Exp[i] > row.CoHoRT.Bound[i] {
+				t.Fatalf("%s core %d: experimental above analytical", row.Benchmark, i)
+			}
+		}
+	}
+	out := res.Render().String()
+	if !strings.Contains(out, "CoHoRT bound") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+	if !strings.Contains(res.Summary(), "tighter") {
+		t.Fatal("summary missing ratios")
+	}
+}
+
+func TestFig5NcrScenario(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"fft"}
+	res, err := Fig5(o, "1cr-3ncr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	// Non-critical cores run MSI under CoHoRT in this scenario.
+	for i := 1; i < 4; i++ {
+		if row.Timers[i] != config.TimerMSI {
+			t.Fatalf("nCr core %d timer = %v, want MSI", i, row.Timers[i])
+		}
+	}
+	// PENDULUM's nCr cores are unbounded.
+	for i := 1; i < 4; i++ {
+		if row.Pendulum.Bound[i] != analysis.Unbounded {
+			t.Fatalf("PENDULUM nCr core %d bound = %d, want unbounded", i, row.Pendulum.Bound[i])
+		}
+	}
+	// The lone Cr core's CoHoRT bound reduces to pure arbitration latency
+	// (no co-runner timer terms, §VIII), so CoHoRT stays well ahead of
+	// PENDULUM, which still pays its own fixed timer plus TDM pessimism.
+	if res.PendulumRatio <= 2 {
+		t.Fatalf("1cr-3ncr PENDULUM gap %.2f should stay well above 1", res.PendulumRatio)
+	}
+	// 7·SW = 378: pure arbitration latency, no co-runner timer terms.
+	wclCr := analysis.WCLCoHoRT(config.PaperDefaults(4, 1).Lat, row.Timers, 0)
+	if wclCr != 378 {
+		t.Fatalf("lone Cr core WCL = %d, want 378 (arbitration only)", wclCr)
+	}
+}
+
+func TestFig6ShapeHolds(t *testing.T) {
+	o := QuickOptions()
+	res, err := Fig6(o, "all-cr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper ordering: CoHoRT < PCC < PENDULUM average slowdown.
+	if !(res.AvgCoHoRT < res.AvgPCC && res.AvgPCC < res.AvgPendulum) {
+		t.Fatalf("slowdown ordering broken: cohort %.3f, pcc %.3f, pendulum %.3f",
+			res.AvgCoHoRT, res.AvgPCC, res.AvgPendulum)
+	}
+	if res.AvgCoHoRT < 0.5 || res.AvgCoHoRT > 2.0 {
+		t.Fatalf("CoHoRT slowdown %.3f implausible", res.AvgCoHoRT)
+	}
+	out := res.Render().String()
+	if !strings.Contains(out, "geomean") {
+		t.Fatalf("render missing geomean row:\n%s", out)
+	}
+	_ = res.Summary()
+}
+
+func TestFig7Narrative(t *testing.T) {
+	o := QuickOptions()
+	res, err := Fig7(o, "fft", 1.5, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 3 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	// Bounds must decrease as the mode increases (that is what makes the
+	// adaptive mechanism work).
+	for m := 1; m < len(res.BoundPerMode); m++ {
+		if res.BoundPerMode[m] >= res.BoundPerMode[m-1] {
+			t.Fatalf("bound at mode %d (%d) not below mode %d (%d)",
+				m+1, res.BoundPerMode[m], m, res.BoundPerMode[m-1])
+		}
+	}
+	// Stage 1 is schedulable everywhere; later stages break without
+	// switching but hold with it.
+	if !res.Stages[0].MeetsNoSwitch() {
+		t.Fatal("stage 1 must be schedulable at mode 1")
+	}
+	for _, st := range res.Stages[1:] {
+		if st.MeetsNoSwitch() {
+			t.Fatalf("stage %d unexpectedly schedulable without switching", st.Stage)
+		}
+		if !st.MeetsWithSwitch() {
+			t.Fatalf("stage %d not schedulable even with switching", st.Stage)
+		}
+	}
+	// Modes are nondecreasing and the simulated adaptive run completed with
+	// every core finishing (no suspension).
+	if res.Stages[1].Mode <= 1 {
+		t.Fatal("stage 2 should require a degraded mode")
+	}
+	if !res.SimCompleted {
+		t.Fatal("adaptive simulation did not complete all cores")
+	}
+	if res.SimModeSwitches < 1 {
+		t.Fatal("no run-time mode switches applied")
+	}
+	tables := res.Render()
+	if len(tables) != 2 {
+		t.Fatalf("render tables = %d", len(tables))
+	}
+	if !strings.Contains(tables[0].String(), "300") {
+		t.Fatalf("Table II render missing timers:\n%s", tables[0])
+	}
+	if !strings.Contains(res.Summary(), "mode") {
+		t.Fatal("summary missing mode info")
+	}
+	if _, err := Fig7(o, "fft", 0.5, 1.8); err == nil {
+		t.Fatal("factor ≤ 1 accepted")
+	}
+	if _, err := Fig7(o, "bogus", 1.5, 1.8); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1().String()
+	for _, want := range []string{"CoHoRT", "PENDULUM", "yes", "optimized"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Regeneration(t *testing.T) {
+	o := QuickOptions()
+	res, err := Table2(o, "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("modes = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		m := row.Mode
+		for i, th := range row.Timers {
+			crit := o.NCores - i
+			if crit >= m && !th.Timed() {
+				t.Fatalf("mode %d core %d should be timed, got %v", m, i, th)
+			}
+			if crit < m && th != config.TimerMSI {
+				t.Fatalf("mode %d core %d should be MSI, got %v", m, i, th)
+			}
+		}
+	}
+	// Mode 4: only c0 timed — exactly the paper's structure.
+	last := res.Rows[3]
+	if !last.Timers[0].Timed() || last.Timers[1] != config.TimerMSI {
+		t.Fatalf("mode 4 structure wrong: %v", last.Timers)
+	}
+	if !strings.Contains(res.Render().String(), "Table II") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestAblationArbiter(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"fft"}
+	res, err := AblationArbiter(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byArb := map[config.Arbiter]ArbiterAblationRow{}
+	for _, r := range res.Rows {
+		byArb[r.Arbiter] = r
+	}
+	// TDM's idle slots must cost wall-clock time against RROF.
+	if byArb[config.ArbiterTDM].Cycles <= byArb[config.ArbiterRROF].Cycles {
+		t.Fatalf("TDM (%d) should be slower than RROF (%d)",
+			byArb[config.ArbiterTDM].Cycles, byArb[config.ArbiterRROF].Cycles)
+	}
+	if !strings.Contains(res.Render().String(), "rrof") {
+		t.Fatal("render missing arbiters")
+	}
+}
+
+func TestAblationTransfer(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"radix"}
+	res, err := AblationTransfer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct, via TransferAblationRow
+	for _, r := range res.Rows {
+		if r.Transfer == config.TransferDirect {
+			direct = r
+		} else {
+			via = r
+		}
+	}
+	// The via-memory detour must cost time on a sharing-heavy workload.
+	if via.Cycles <= direct.Cycles {
+		t.Fatalf("via-memory (%d) should be slower than direct (%d)", via.Cycles, direct.Cycles)
+	}
+	if !strings.Contains(res.Render().String(), "via-memory") {
+		t.Fatal("render missing policies")
+	}
+}
+
+func TestAblationTimerTradeoff(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"fft"}
+	res, err := AblationTimer(o, []config.Timer{1, 100, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// WCL grows monotonically with θ (Eq. 1). Measured hits under contention
+	// may jitter between adjacent θ values (interleavings change), but a
+	// large timer must not protect dramatically fewer hits than θ=1.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].WCL <= res.Rows[i-1].WCL {
+			t.Fatalf("WCL not increasing with θ: %+v", res.Rows)
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if float64(last.Hits) < 0.9*float64(first.Hits) {
+		t.Fatalf("hits collapsed at large θ: %d vs %d", last.Hits, first.Hits)
+	}
+	if !strings.Contains(res.Render().String(), "θ") {
+		t.Fatal("render missing theta column")
+	}
+}
+
+func TestAblationSnoop(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"lu"} // write-heavy: upgrades matter
+	res, err := AblationSnoop(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msi, mesi SnoopAblationRow
+	for _, r := range res.Rows {
+		if r.Snoop == config.SnoopMSI {
+			msi = r
+		} else {
+			mesi = r
+		}
+	}
+	if mesi.Upgrades >= msi.Upgrades {
+		t.Fatalf("MESI upgrades %d not below MSI %d", mesi.Upgrades, msi.Upgrades)
+	}
+	if mesi.Hits < msi.Hits {
+		t.Fatalf("MESI hits %d below MSI %d", mesi.Hits, msi.Hits)
+	}
+	if !strings.Contains(res.Render().String(), "mesi") {
+		t.Fatal("render missing protocol names")
+	}
+}
+
+func TestNonPerfectSameObservations(t *testing.T) {
+	o := QuickOptions()
+	res, err := NonPerfect(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SameObservations() {
+		t.Fatalf("footnote-1 orderings broken: %s", res.Summary())
+	}
+	for _, row := range res.Rows {
+		if !row.ExpUnderBound {
+			t.Fatalf("%s: measured WCML exceeded the DRAM-extended bound", row.Benchmark)
+		}
+	}
+	if !strings.Contains(res.Render().String(), "Footnote 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestAblationOptimizer(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"fft"}
+	res, err := AblationOptimizer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.GAObjective <= 0 || row.HCObjective <= 0 {
+		t.Fatalf("degenerate objectives: %+v", row)
+	}
+	if row.GAEvals == 0 || row.HCEvals == 0 {
+		t.Fatalf("no oracle calls: %+v", row)
+	}
+	if !strings.Contains(res.Render().String(), "hill climbing") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestExtensionScalability(t *testing.T) {
+	o := QuickOptions()
+	res, err := ExtensionScalability(o, "fft", 50, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The Eq. 1 bound grows strictly with the core count (more co-runner
+	// slots and timers on the shared bus).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].WCL <= res.Rows[i-1].WCL {
+			t.Fatalf("WCL not growing with N: %+v", res.Rows)
+		}
+		if res.Rows[i].NCores <= res.Rows[i-1].NCores {
+			t.Fatal("core counts not ascending")
+		}
+	}
+	// More cores on one bus: makespan grows (the bus saturates).
+	if res.Rows[2].Cycles <= res.Rows[0].Cycles {
+		t.Fatalf("8-core makespan %d not above 2-core %d", res.Rows[2].Cycles, res.Rows[0].Cycles)
+	}
+	if _, err := ExtensionScalability(o, "bogus", 50, nil); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := ExtensionScalability(o, "fft", 50, []int{0}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if !strings.Contains(res.Render().String(), "scalability") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestAblationL1Ways(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"fft"}
+	res, err := AblationL1Ways(o, 200, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// More ways at fixed capacity never reduce the guaranteed hits (conflict
+	// misses only go away).
+	if res.Rows[1].GuaranteedHits < res.Rows[0].GuaranteedHits {
+		t.Fatalf("guaranteed hits dropped with associativity: %+v", res.Rows)
+	}
+	if !strings.Contains(res.Render().String(), "associativity") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestAblationNonBlocking(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"fft"}
+	res, err := AblationNonBlocking(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nb, bl int64
+	for _, r := range res.Rows {
+		if r.Blocking {
+			bl = r.Cycles
+		} else {
+			nb = r.Cycles
+		}
+	}
+	// Hits-over-misses must not be slower than blocking.
+	if nb > bl {
+		t.Fatalf("non-blocking %d slower than blocking %d", nb, bl)
+	}
+	if !strings.Contains(res.Render().String(), "non-blocking") {
+		t.Fatal("render missing modes")
+	}
+}
+
+// TestPipelineDeterminism runs a whole figure pipeline twice (trace
+// generation → GA → simulations → bounds → rendering) and requires
+// byte-identical output: the entire stack is seeded and map-order free.
+func TestPipelineDeterminism(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"fft"}
+	render := func() string {
+		res, err := Fig5(o, "all-cr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render().String() + res.Summary()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("pipeline nondeterministic:\n%s\nvs\n%s", a, b)
+	}
+}

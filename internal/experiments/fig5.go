@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cohort/internal/analysis"
+	"cohort/internal/config"
+	"cohort/internal/stats"
+	"cohort/internal/trace"
+)
+
+// SystemWCML holds the per-core experimental (measured) and analytical
+// WCML of one system on one benchmark — one group of bars in Fig. 5.
+type SystemWCML struct {
+	// Exp is the measured total memory latency per core (solid bars).
+	Exp []int64
+	// Bound is the analytical WCML bound per core (T bars);
+	// analysis.Unbounded for cores without a bound.
+	Bound []int64
+}
+
+// Fig5Row is one benchmark's result across the three systems.
+type Fig5Row struct {
+	Benchmark string
+	Timers    []config.Timer // CoHoRT's optimized timers
+	CoHoRT    SystemWCML
+	PCC       SystemWCML
+	Pendulum  SystemWCML
+}
+
+// Fig5Result reproduces one sub-figure of Fig. 5 (one criticality scenario).
+type Fig5Result struct {
+	Scenario Scenario
+	Rows     []Fig5Row
+	// PCCRatio and PendulumRatio are geometric means over benchmarks and
+	// critical cores of bound(baseline)/bound(CoHoRT) — the paper's
+	// "CoHoRT is K× tighter" numbers (2.15× vs PCC and ~16× vs PENDULUM in
+	// Fig. 5a, ~6× in 5b, ~18× in 5c).
+	PCCRatio      float64
+	PendulumRatio float64
+}
+
+// Fig5 runs the WCML comparison of CoHoRT against PCC and PENDULUM for the
+// named scenario ("all-cr", "2cr-2ncr", "1cr-3ncr").
+func Fig5(o Options, scenarioName string) (*Fig5Result, error) {
+	sc, err := ScenarioByName(o.NCores, scenarioName)
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Scenario: sc}
+	var pccRatios, pendRatios []float64
+	for _, p := range profiles {
+		tr := o.generate(p)
+		row := Fig5Row{Benchmark: p.Name}
+
+		// CoHoRT: optimized timers on critical cores, MSI elsewhere.
+		ga, err := optimizeTimers(&o, tr, sc.Critical)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
+		}
+		row.Timers = ga.Timers
+		cohortCfg, err := config.CoHoRT(o.NCores, 1, ga.Timers)
+		if err != nil {
+			return nil, err
+		}
+		row.CoHoRT, err = measureWCML(cohortCfg, &o, tr)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s cohort: %w", p.Name, err)
+		}
+
+		pccCfg := config.PCC(o.NCores)
+		row.PCC, err = measureWCML(pccCfg, &o, tr)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s pcc: %w", p.Name, err)
+		}
+
+		pendCfg := config.PENDULUM(sc.Critical)
+		row.Pendulum, err = measureWCML(pendCfg, &o, tr)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s pendulum: %w", p.Name, err)
+		}
+
+		for i, cr := range sc.Critical {
+			if !cr || row.CoHoRT.Bound[i] <= 0 {
+				continue
+			}
+			if row.PCC.Bound[i] > 0 {
+				pccRatios = append(pccRatios, float64(row.PCC.Bound[i])/float64(row.CoHoRT.Bound[i]))
+			}
+			if row.Pendulum.Bound[i] > 0 {
+				pendRatios = append(pendRatios, float64(row.Pendulum.Bound[i])/float64(row.CoHoRT.Bound[i]))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.PCCRatio = geomean(pccRatios)
+	res.PendulumRatio = geomean(pendRatios)
+	return res, nil
+}
+
+// measureWCML runs one system and pairs the measured per-core total memory
+// latency with its analytical bound.
+func measureWCML(cfg *config.System, o *Options, tr *trace.Trace) (SystemWCML, error) {
+	bounds, err := analysis.Bounds(cfg, tr)
+	if err != nil {
+		return SystemWCML{}, err
+	}
+	run, err := runSystem(cfg, tr)
+	if err != nil {
+		return SystemWCML{}, err
+	}
+	out := SystemWCML{
+		Exp:   make([]int64, o.NCores),
+		Bound: make([]int64, o.NCores),
+	}
+	for i := 0; i < o.NCores; i++ {
+		out.Exp[i] = run.Cores[i].TotalLatency
+		out.Bound[i] = bounds[i].WCMLBound
+		if out.Bound[i] != analysis.Unbounded && out.Exp[i] > out.Bound[i] {
+			return SystemWCML{}, fmt.Errorf("core %d: measured WCML %d exceeds bound %d", i, out.Exp[i], out.Bound[i])
+		}
+	}
+	return out, nil
+}
+
+// Render lays the result out as the paper's grouped bars, one row per
+// (benchmark, core).
+func (r *Fig5Result) Render() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Fig. 5 (%s): per-core WCML, experimental / analytical (cycles)", r.Scenario.Name),
+		"bench", "core", "crit", "CoHoRT exp", "CoHoRT bound", "PCC exp", "PCC bound", "PENDULUM exp", "PENDULUM bound")
+	fmtBound := func(v int64) string {
+		if v == analysis.Unbounded {
+			return "unbounded"
+		}
+		return stats.Cycles(v)
+	}
+	for _, row := range r.Rows {
+		for i := range row.CoHoRT.Exp {
+			crit := "nCr"
+			if r.Scenario.Critical[i] {
+				crit = "Cr"
+			}
+			t.AddRow(row.Benchmark, fmt.Sprintf("c%d", i), crit,
+				stats.Cycles(row.CoHoRT.Exp[i]), fmtBound(row.CoHoRT.Bound[i]),
+				stats.Cycles(row.PCC.Exp[i]), fmtBound(row.PCC.Bound[i]),
+				stats.Cycles(row.Pendulum.Exp[i]), fmtBound(row.Pendulum.Bound[i]))
+		}
+	}
+	return t
+}
+
+// Summary states the headline ratios.
+func (r *Fig5Result) Summary() string {
+	return fmt.Sprintf("Fig. 5 (%s): CoHoRT bounds are %.2fx tighter than PCC and %.2fx tighter than PENDULUM (geomean over critical cores)",
+		r.Scenario.Name, r.PCCRatio, r.PendulumRatio)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cohort/internal/config"
+	"cohort/internal/stats"
+)
+
+// Fig6Row is one benchmark's normalized execution time under each system.
+type Fig6Row struct {
+	Benchmark string
+	// BaselineCycles is the makespan under MSI + FCFS (the normalization
+	// baseline).
+	BaselineCycles int64
+	// Slowdown maps system name → makespan / BaselineCycles.
+	CoHoRT, PCC, Pendulum float64
+}
+
+// Fig6Result reproduces one sub-figure of Fig. 6: overall execution time
+// normalized against standard MSI with a FCFS COTS arbiter. The paper's
+// averages are 1.03× (CoHoRT), 1.13× (PCC), 1.50× (PENDULUM) in the all-Cr
+// configuration.
+type Fig6Result struct {
+	Scenario Scenario
+	Rows     []Fig6Row
+	// AvgCoHoRT/AvgPCC/AvgPendulum are geometric-mean slowdowns.
+	AvgCoHoRT, AvgPCC, AvgPendulum float64
+}
+
+// Fig6 runs the average-case performance comparison for the named scenario.
+func Fig6(o Options, scenarioName string) (*Fig6Result, error) {
+	sc, err := ScenarioByName(o.NCores, scenarioName)
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Scenario: sc}
+	var ch, pc, pd []float64
+	for _, p := range profiles {
+		tr := o.generate(p)
+		row := Fig6Row{Benchmark: p.Name}
+
+		base, err := runSystem(config.MSIFCFS(o.NCores), tr)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s msi: %w", p.Name, err)
+		}
+		row.BaselineCycles = base.Cycles
+
+		ga, err := optimizeTimers(&o, tr, sc.Critical)
+		if err != nil {
+			return nil, err
+		}
+		cohortCfg, err := config.CoHoRT(o.NCores, 1, ga.Timers)
+		if err != nil {
+			return nil, err
+		}
+		cohort, err := runSystem(cohortCfg, tr)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s cohort: %w", p.Name, err)
+		}
+		pcc, err := runSystem(config.PCC(o.NCores), tr)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s pcc: %w", p.Name, err)
+		}
+		pend, err := runSystem(config.PENDULUM(sc.Critical), tr)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s pendulum: %w", p.Name, err)
+		}
+		row.CoHoRT = float64(cohort.Cycles) / float64(base.Cycles)
+		row.PCC = float64(pcc.Cycles) / float64(base.Cycles)
+		row.Pendulum = float64(pend.Cycles) / float64(base.Cycles)
+		ch = append(ch, row.CoHoRT)
+		pc = append(pc, row.PCC)
+		pd = append(pd, row.Pendulum)
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgCoHoRT, res.AvgPCC, res.AvgPendulum = geomean(ch), geomean(pc), geomean(pd)
+	return res, nil
+}
+
+// Render lays the result out like the paper's normalized bars.
+func (r *Fig6Result) Render() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Fig. 6 (%s): execution time normalized to MSI+FCFS", r.Scenario.Name),
+		"bench", "MSI+FCFS cycles", "CoHoRT", "PCC", "PENDULUM")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, stats.Cycles(row.BaselineCycles),
+			fmt.Sprintf("%.3fx", row.CoHoRT),
+			fmt.Sprintf("%.3fx", row.PCC),
+			fmt.Sprintf("%.3fx", row.Pendulum))
+	}
+	t.AddRow("geomean", "",
+		fmt.Sprintf("%.3fx", r.AvgCoHoRT),
+		fmt.Sprintf("%.3fx", r.AvgPCC),
+		fmt.Sprintf("%.3fx", r.AvgPendulum))
+	return t
+}
+
+// Summary states the headline averages.
+func (r *Fig6Result) Summary() string {
+	return fmt.Sprintf("Fig. 6 (%s): average slowdown vs MSI+FCFS — CoHoRT %.2fx, PCC %.2fx, PENDULUM %.2fx",
+		r.Scenario.Name, r.AvgCoHoRT, r.AvgPCC, r.AvgPendulum)
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cohort/internal/analysis"
+	"cohort/internal/config"
+	"cohort/internal/stats"
+)
+
+// NonPerfectRow is one benchmark's result under the non-perfect LLC.
+type NonPerfectRow struct {
+	Benchmark string
+	// Slowdowns vs MSI+FCFS (also with a non-perfect LLC).
+	CoHoRT, PCC, Pendulum float64
+	// CoHoRTBoundRatio is PCC bound / CoHoRT bound (geomean over cores) —
+	// the Fig. 5 headline under the non-perfect hierarchy.
+	CoHoRTBoundRatio float64
+	// ExpUnderBound reports that every measured WCML stayed below its
+	// (DRAM-extended) analytical bound.
+	ExpUnderBound bool
+}
+
+// NonPerfectResult reproduces the paper's footnote 1: "we have also
+// experimented with a non-perfect LLC including a fixed-latency main memory
+// model. This experiment shows the same observations." The runner repeats
+// the Fig. 5/Fig. 6 headline measurements with PerfectLLC = false and the
+// default DRAM latency and checks that the orderings are unchanged.
+type NonPerfectResult struct {
+	Rows                           []NonPerfectRow
+	AvgCoHoRT, AvgPCC, AvgPendulum float64
+	AvgBoundRatio                  float64
+}
+
+// NonPerfect runs the footnote-1 experiment for the all-critical scenario.
+func NonPerfect(o Options) (*NonPerfectResult, error) {
+	sc, err := ScenarioByName(o.NCores, "all-cr")
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	res := &NonPerfectResult{}
+	var ch, pc, pd, br []float64
+	for _, p := range profiles {
+		tr := o.generate(p)
+		row := NonPerfectRow{Benchmark: p.Name, ExpUnderBound: true}
+
+		baseCfg := config.MSIFCFS(o.NCores)
+		baseCfg.PerfectLLC = false
+		base, err := runSystem(baseCfg, tr)
+		if err != nil {
+			return nil, fmt.Errorf("nonperfect %s msi: %w", p.Name, err)
+		}
+
+		ga, err := optimizeTimers(&o, tr, sc.Critical)
+		if err != nil {
+			return nil, err
+		}
+		cohortCfg, err := config.CoHoRT(o.NCores, 1, ga.Timers)
+		if err != nil {
+			return nil, err
+		}
+		cohortCfg.PerfectLLC = false
+		cohortBounds, err := analysis.Bounds(cohortCfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		cohort, err := runSystem(cohortCfg, tr)
+		if err != nil {
+			return nil, fmt.Errorf("nonperfect %s cohort: %w", p.Name, err)
+		}
+
+		pccCfg := config.PCC(o.NCores)
+		pccCfg.PerfectLLC = false
+		pccBounds, err := analysis.Bounds(pccCfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		pcc, err := runSystem(pccCfg, tr)
+		if err != nil {
+			return nil, fmt.Errorf("nonperfect %s pcc: %w", p.Name, err)
+		}
+
+		pendCfg := config.PENDULUM(sc.Critical)
+		pendCfg.PerfectLLC = false
+		pend, err := runSystem(pendCfg, tr)
+		if err != nil {
+			return nil, fmt.Errorf("nonperfect %s pendulum: %w", p.Name, err)
+		}
+
+		row.CoHoRT = float64(cohort.Cycles) / float64(base.Cycles)
+		row.PCC = float64(pcc.Cycles) / float64(base.Cycles)
+		row.Pendulum = float64(pend.Cycles) / float64(base.Cycles)
+
+		var ratios []float64
+		for i := 0; i < o.NCores; i++ {
+			if cohort.Cores[i].TotalLatency > cohortBounds[i].WCMLBound ||
+				pcc.Cores[i].TotalLatency > pccBounds[i].WCMLBound {
+				row.ExpUnderBound = false
+			}
+			ratios = append(ratios, float64(pccBounds[i].WCMLBound)/float64(cohortBounds[i].WCMLBound))
+		}
+		row.CoHoRTBoundRatio = geomean(ratios)
+
+		ch = append(ch, row.CoHoRT)
+		pc = append(pc, row.PCC)
+		pd = append(pd, row.Pendulum)
+		br = append(br, row.CoHoRTBoundRatio)
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgCoHoRT, res.AvgPCC, res.AvgPendulum = geomean(ch), geomean(pc), geomean(pd)
+	res.AvgBoundRatio = geomean(br)
+	return res, nil
+}
+
+// SameObservations reports whether the perfect-LLC orderings hold: CoHoRT's
+// bounds stay tighter than PCC's and the slowdown ordering
+// CoHoRT ≤ PCC ≤ PENDULUM is preserved.
+func (r *NonPerfectResult) SameObservations() bool {
+	return r.AvgBoundRatio > 1 && r.AvgCoHoRT <= r.AvgPCC && r.AvgPCC <= r.AvgPendulum
+}
+
+// Render lays out the footnote-1 comparison.
+func (r *NonPerfectResult) Render() *stats.Table {
+	t := stats.NewTable("Footnote 1: non-perfect LLC + fixed-latency DRAM (all-cr)",
+		"bench", "CoHoRT", "PCC", "PENDULUM", "bound ratio vs PCC", "exp ≤ bound")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark,
+			fmt.Sprintf("%.3fx", row.CoHoRT),
+			fmt.Sprintf("%.3fx", row.PCC),
+			fmt.Sprintf("%.3fx", row.Pendulum),
+			fmt.Sprintf("%.2fx", row.CoHoRTBoundRatio),
+			fmt.Sprintf("%v", row.ExpUnderBound))
+	}
+	t.AddRow("geomean",
+		fmt.Sprintf("%.3fx", r.AvgCoHoRT),
+		fmt.Sprintf("%.3fx", r.AvgPCC),
+		fmt.Sprintf("%.3fx", r.AvgPendulum),
+		fmt.Sprintf("%.2fx", r.AvgBoundRatio), "")
+	return t
+}
+
+// Summary states the footnote-1 verdict.
+func (r *NonPerfectResult) Summary() string {
+	return fmt.Sprintf("Footnote 1 (non-perfect LLC): same observations = %v — slowdowns %.2fx/%.2fx/%.2fx, CoHoRT bounds %.2fx tighter than PCC",
+		r.SameObservations(), r.AvgCoHoRT, r.AvgPCC, r.AvgPendulum, r.AvgBoundRatio)
+}

@@ -1,0 +1,90 @@
+// Package hwcost models the hardware overhead of the CoHoRT architecture
+// (paper §III-B): one 16-bit countdown counter per private-cache line
+// (quoted as "around 3% overhead for a 64B cache line"), one 16-bit timer
+// threshold register per core, the per-mode Mode-Switch LUT ("for 5 levels
+// of criticality … a negligible 80 bits"), and the comparator/demux glue of
+// Fig. 3. It exists so configurations can report their silicon cost next to
+// their timing properties.
+package hwcost
+
+import (
+	"fmt"
+
+	"cohort/internal/config"
+)
+
+// CounterBits is the width of the per-line countdown counter and of every
+// timer register/LUT field (§III-B: "We find 16-bit for the registers and
+// the counters to be sufficient").
+const CounterBits = 16
+
+// Cost itemizes the additional storage CoHoRT adds to one core's private
+// cache controller, in bits.
+type Cost struct {
+	// LineCounters is the per-line countdown-counter storage:
+	// 16 bits × number of L1 lines.
+	LineCounters int
+	// TimerRegister is the θ threshold register (16 bits).
+	TimerRegister int
+	// ModeLUT is the Mode-Switch LUT: 16 bits × number of modes.
+	ModeLUT int
+	// Glue approximates the Fig. 3 comparator, load/enable logic and
+	// demultiplexer, amortized per line (2 bits of state-equivalent each).
+	Glue int
+}
+
+// Total sums all components.
+func (c Cost) Total() int {
+	return c.LineCounters + c.TimerRegister + c.ModeLUT + c.Glue
+}
+
+// PerCore computes the per-core overhead for an L1 geometry and mode count.
+func PerCore(l1 config.CacheGeometry, modes int) Cost {
+	lines := l1.Lines()
+	return Cost{
+		LineCounters:  CounterBits * lines,
+		TimerRegister: CounterBits,
+		ModeLUT:       CounterBits * modes,
+		Glue:          2 * lines,
+	}
+}
+
+// Report summarizes a full system's overhead.
+type Report struct {
+	PerCore   Cost
+	Cores     int
+	L1Bits    int // baseline L1 data storage in bits
+	TotalBits int // added bits across all cores
+}
+
+// Overhead returns the added storage as a fraction of the baseline L1 data
+// array — comparable to the paper's "around 3% for a 64B cache line".
+func (r Report) Overhead() float64 {
+	if r.L1Bits == 0 {
+		return 0
+	}
+	return float64(r.PerCore.Total()) / float64(r.L1Bits)
+}
+
+// ForSystem computes the report for a validated configuration.
+func ForSystem(cfg *config.System) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	pc := PerCore(cfg.L1, cfg.Levels)
+	return Report{
+		PerCore:   pc,
+		Cores:     cfg.N(),
+		L1Bits:    cfg.L1.SizeBytes * 8,
+		TotalBits: pc.Total() * cfg.N(),
+	}, nil
+}
+
+// String renders the report in the paper's terms.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"hwcost: per core %d bits (counters %d, θ register %d, mode LUT %d, glue %d) = %.2f%% of the L1 data array; %d cores: %d bits total",
+		r.PerCore.Total(), r.PerCore.LineCounters, r.PerCore.TimerRegister,
+		r.PerCore.ModeLUT, r.PerCore.Glue,
+		100*r.Overhead(), r.Cores, r.TotalBits)
+}

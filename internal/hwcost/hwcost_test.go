@@ -1,0 +1,83 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+
+	"cohort/internal/config"
+)
+
+func TestPerLineOverheadMatchesPaper(t *testing.T) {
+	// §III-B: a 16-bit counter per 64 B (512-bit) line is "around 3%".
+	l1 := config.CacheGeometry{SizeBytes: 16 * 1024, LineBytes: 64, Ways: 1}
+	c := PerCore(l1, 5)
+	perLineBits := float64(CounterBits) / float64(64*8)
+	if perLineBits < 0.031 || perLineBits > 0.032 {
+		t.Fatalf("per-line counter overhead = %.4f, want ≈ 3%%", perLineBits)
+	}
+	if c.LineCounters != 16*256 {
+		t.Fatalf("LineCounters = %d, want 4096", c.LineCounters)
+	}
+}
+
+func TestModeLUTMatchesPaperFigure(t *testing.T) {
+	// §III-B / §VI: five criticality levels cost 80 bits of LUT.
+	l1 := config.CacheGeometry{SizeBytes: 16 * 1024, LineBytes: 64, Ways: 1}
+	c := PerCore(l1, 5)
+	if c.ModeLUT != 80 {
+		t.Fatalf("ModeLUT = %d bits, want 80 (paper's 5-level figure)", c.ModeLUT)
+	}
+	if c.TimerRegister != 16 {
+		t.Fatalf("TimerRegister = %d, want 16", c.TimerRegister)
+	}
+}
+
+func TestForSystem(t *testing.T) {
+	cfg := config.PaperDefaults(4, 5)
+	r, err := ForSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cores != 4 {
+		t.Fatalf("Cores = %d", r.Cores)
+	}
+	if r.TotalBits != r.PerCore.Total()*4 {
+		t.Fatal("TotalBits inconsistent")
+	}
+	// Dominated by the per-line counters: overhead slightly above 3%.
+	if ov := r.Overhead(); ov < 0.031 || ov > 0.045 {
+		t.Fatalf("overhead = %.4f, want ≈ 3-4%%", ov)
+	}
+	out := r.String()
+	for _, want := range []string{"per core", "mode LUT", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestForSystemRejectsInvalid(t *testing.T) {
+	cfg := config.PaperDefaults(4, 5)
+	cfg.Mode = 99
+	if _, err := ForSystem(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestZeroBaseline(t *testing.T) {
+	var r Report
+	if r.Overhead() != 0 {
+		t.Fatal("zero baseline must report 0 overhead")
+	}
+}
+
+func TestCostScalesWithGeometry(t *testing.T) {
+	small := PerCore(config.CacheGeometry{SizeBytes: 8 * 1024, LineBytes: 64, Ways: 1}, 2)
+	big := PerCore(config.CacheGeometry{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 2}, 2)
+	if big.LineCounters != 4*small.LineCounters {
+		t.Fatalf("counters should scale with lines: %d vs %d", big.LineCounters, small.LineCounters)
+	}
+	if big.ModeLUT != small.ModeLUT {
+		t.Fatal("LUT must not depend on geometry")
+	}
+}

@@ -1,0 +1,114 @@
+// Package memctrl models the shared memory behind the bus: an inclusive
+// last-level cache with an optional fixed-latency DRAM behind it. The paper's
+// headline experiments use a perfect LLC (every access hits, isolating
+// coherence interference); the non-perfect mode adds a fixed DRAM penalty and
+// back-invalidations on inclusive evictions (§VIII, footnote 1).
+package memctrl
+
+import (
+	"cohort/internal/cache"
+	"cohort/internal/config"
+)
+
+// LLC is the shared last-level cache controller.
+type LLC struct {
+	arr     *cache.Cache
+	perfect bool
+	dramLat int64
+
+	hits, misses, evictions, bypasses int64
+}
+
+// New builds an LLC from its geometry. When perfect is true every fetch
+// hits; dramLat is the penalty added on a miss otherwise.
+func New(geom config.CacheGeometry, perfect bool, dramLat int64) *LLC {
+	return &LLC{
+		arr:     cache.New(geom.SizeBytes, geom.LineBytes, geom.Ways),
+		perfect: perfect,
+		dramLat: dramLat,
+	}
+}
+
+// Perfect reports whether the LLC is in perfect mode.
+func (l *LLC) Perfect() bool { return l.perfect }
+
+// Fetch serves a line fill toward a private cache and returns the extra
+// latency beyond the bus data transfer (0 on an LLC hit, the DRAM latency on
+// a miss) plus the line addresses that must be back-invalidated from private
+// caches to preserve inclusion.
+//
+// pinned reports whether a line is currently timer-protected in some private
+// cache; the controller never victimizes such lines (paper §III-B lists
+// back-invalidation as an MSI-only invalidation cause). If every candidate
+// way is pinned, the fill bypasses the LLC: the requester is served straight
+// from DRAM and the line is not cached at this level.
+func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) bool) (penalty int64, backInv []uint64) {
+	if l.perfect {
+		l.hits++
+		return 0, nil
+	}
+	if e := l.arr.Lookup(lineAddr); e != nil {
+		l.hits++
+		l.arr.Touch(e)
+		return 0, nil
+	}
+	l.misses++
+	victim := l.arr.VictimFor(lineAddr, func(e *cache.Entry) bool {
+		return pinned != nil && pinned(e.LineAddr)
+	})
+	if victim == nil {
+		// All ways hold timer-protected lines: serve around the LLC.
+		l.bypasses++
+		return l.dramLat, nil
+	}
+	if victim.Valid() {
+		l.evictions++
+		backInv = append(backInv, victim.LineAddr)
+		l.arr.Invalidate(victim)
+	}
+	l.arr.Fill(victim, lineAddr, cache.Shared, now)
+	return l.dramLat, backInv
+}
+
+// WriteBack absorbs a dirty line from a private cache and returns any lines
+// that must be back-invalidated to make room. In perfect mode it is a no-op;
+// otherwise the line is (re)installed so a future fetch hits. pinned has the
+// same meaning as in Fetch.
+func (l *LLC) WriteBack(lineAddr uint64, now int64, pinned func(lineAddr uint64) bool) (backInv []uint64) {
+	if l.perfect {
+		return nil
+	}
+	if e := l.arr.Lookup(lineAddr); e != nil {
+		l.arr.Touch(e)
+		return nil
+	}
+	// Writeback of a line the LLC no longer tracks (it was bypassed):
+	// install it if possible without disturbing pinned lines.
+	victim := l.arr.VictimFor(lineAddr, func(e *cache.Entry) bool {
+		return pinned != nil && pinned(e.LineAddr)
+	})
+	if victim == nil {
+		return nil
+	}
+	if victim.Valid() {
+		l.evictions++
+		backInv = append(backInv, victim.LineAddr)
+		l.arr.Invalidate(victim)
+	}
+	l.arr.Fill(victim, lineAddr, cache.Modified, now)
+	return backInv
+}
+
+// Contains reports whether the LLC currently caches the line (always true in
+// perfect mode, matching an infinite cache).
+func (l *LLC) Contains(lineAddr uint64) bool {
+	if l.perfect {
+		return true
+	}
+	return l.arr.Lookup(lineAddr) != nil
+}
+
+// Stats returns the controller's counters.
+func (l *LLC) Stats() (hits, misses, evictions, bypasses int64) {
+	return l.hits, l.misses, l.evictions, l.bypasses
+}

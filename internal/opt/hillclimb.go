@@ -1,0 +1,123 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"cohort/internal/analysis"
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+// HCConfig tunes the hill-climbing optimizer.
+type HCConfig struct {
+	// Restarts is the number of random restarts.
+	Restarts int
+	// MaxSteps caps the improvement steps per restart.
+	MaxSteps int
+	// Seed makes runs deterministic.
+	Seed uint64
+}
+
+// DefaultHC returns the parameters used by the optimizer ablation.
+func DefaultHC(seed uint64) HCConfig {
+	return HCConfig{Restarts: 6, MaxSteps: 80, Seed: seed}
+}
+
+// HillClimb is an alternative optimization engine: random-restart
+// coordinate descent with multiplicative steps over the same Θ space,
+// objective and constraint handling as the GA. The paper notes the engine
+// is pluggable ("the optimization algorithm (GA in our case)", §V);
+// providing a second engine validates that the framework — the
+// analysis-oracle loop of Fig. 2a — is algorithm-agnostic, and the
+// optimizer ablation quantifies the difference.
+func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if hc.Restarts < 1 || hc.MaxSteps < 1 {
+		return nil, fmt.Errorf("opt: degenerate HC config %+v", hc)
+	}
+	nGenes := p.numGenes()
+	res := &Result{}
+	if nGenes == 0 {
+		timers := p.Timers(nil)
+		res.Timers = timers
+		res.Eval = p.Evaluate(timers)
+		res.Evaluations = 1
+		return res, nil
+	}
+	res.ThetaIS = make([]config.Timer, 0, nGenes)
+	for i, timed := range p.Timed {
+		if !timed {
+			continue
+		}
+		thIS, _ := analysis.SaturationTimer(p.Streams[i], p.L1, p.Lat)
+		res.ThetaIS = append(res.ThetaIS, thIS)
+	}
+
+	rng := trace.NewRNG(hc.Seed ^ 0x6863) // "hc"
+	clamp := func(g int, v config.Timer) config.Timer {
+		if v < 1 {
+			return 1
+		}
+		if v > res.ThetaIS[g] {
+			return res.ThetaIS[g]
+		}
+		return v
+	}
+	eval := func(genes []config.Timer) (Evaluation, float64) {
+		ev := p.Evaluate(p.Timers(genes))
+		res.Evaluations++
+		return ev, fitness(&ev)
+	}
+
+	var bestGenes []config.Timer
+	var bestEval Evaluation
+	bestFit := math.Inf(1)
+	// Multiplicative step factors tried per coordinate, best-of sweep.
+	factors := []float64{0.25, 0.5, 0.8, 1.25, 2, 4}
+	for r := 0; r < hc.Restarts; r++ {
+		genes := make([]config.Timer, nGenes)
+		for g := range genes {
+			switch r {
+			case 0:
+				genes[g] = 1
+			case 1:
+				genes[g] = res.ThetaIS[g]
+			default:
+				u := rng.Float64()
+				genes[g] = clamp(g, config.Timer(math.Exp(u*math.Log(float64(res.ThetaIS[g])))))
+			}
+		}
+		cur, curFit := eval(genes)
+		for step := 0; step < hc.MaxSteps; step++ {
+			improved := false
+			for g := 0; g < nGenes; g++ {
+				for _, f := range factors {
+					cand := append([]config.Timer(nil), genes...)
+					nv := clamp(g, config.Timer(float64(cand[g])*f))
+					if nv == cand[g] {
+						continue
+					}
+					cand[g] = nv
+					ev, fit := eval(cand)
+					if fit < curFit {
+						genes, cur, curFit = cand, ev, fit
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		res.BestHistory = append(res.BestHistory, curFit)
+		if curFit < bestFit {
+			bestFit, bestGenes, bestEval = curFit, genes, cur
+		}
+	}
+	res.Timers = p.Timers(bestGenes)
+	res.Eval = bestEval
+	return res, nil
+}

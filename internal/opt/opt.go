@@ -1,0 +1,382 @@
+// Package opt implements the paper's requirement-aware optimization engine
+// (§V, Fig. 2a): a genetic algorithm explores the space of timer vectors Θ,
+// querying the static cache analysis as a black-box oracle for the
+// Θ → M_hit relationship, and minimizes the system's average per-request
+// worst-case memory latency subject to the per-task WCML requirements (C1).
+//
+// The paper used Matlab's GA with default parameters; this is a
+// from-scratch, deterministic, stdlib-only equivalent with tournament
+// selection, uniform crossover, geometric mutation, and elitism.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"cohort/internal/analysis"
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+// Problem describes one optimization instance: the platform latencies and
+// L1 geometry, the per-core workload streams, which cores receive a
+// GA-chosen timer (the rest stay at MSI, θ = −1), and the per-core WCML
+// requirements Γ (0 = unconstrained).
+type Problem struct {
+	// Lat holds the platform latencies (SW, L_hit).
+	Lat config.Latencies
+	// L1 is the private-cache geometry used by the analysis oracle.
+	L1 config.CacheGeometry
+	// Streams holds the per-core access streams (Λ_i = len(Streams[i])).
+	Streams []trace.Stream
+	// Timed marks the cores whose timers the GA optimizes; a false entry
+	// fixes that core to θ = −1 (MSI).
+	Timed []bool
+	// Gamma is the per-core WCML requirement in cycles (0 = none). It is
+	// enforced only for timed cores — constraint C1.
+	Gamma []int64
+	// MSIWeight scales the contribution of non-timed (MSI) cores' Eq.-3
+	// bounds to the objective. The paper's objective sums over all cores;
+	// taken literally with all-miss MSI terms it pushes every timer toward
+	// its minimum, while ignoring MSI cores entirely lets a lone critical
+	// core starve its co-runners' average case. The zero value selects
+	// DefaultMSIWeight; MSIWeightNone disables the term.
+	MSIWeight float64
+}
+
+// DefaultMSIWeight is the MSI-core objective weight used when
+// Problem.MSIWeight is left zero: it keeps the timed cores' bounds in
+// charge while pricing the latency their timers impose on best-effort
+// cores.
+const DefaultMSIWeight = 0.01
+
+// MSIWeightNone removes non-timed cores from the objective entirely.
+const MSIWeightNone = -1
+
+// msiWeight resolves the effective weight.
+func (p *Problem) msiWeight() float64 {
+	switch {
+	case p.MSIWeight == 0:
+		return DefaultMSIWeight
+	case p.MSIWeight < 0:
+		return 0
+	default:
+		return p.MSIWeight
+	}
+}
+
+// Validate checks the problem dimensions.
+func (p *Problem) Validate() error {
+	n := len(p.Streams)
+	if n == 0 {
+		return fmt.Errorf("opt: no streams")
+	}
+	if len(p.Timed) != n {
+		return fmt.Errorf("opt: Timed has %d entries for %d cores", len(p.Timed), n)
+	}
+	if p.Gamma != nil && len(p.Gamma) != n {
+		return fmt.Errorf("opt: Gamma has %d entries for %d cores", len(p.Gamma), n)
+	}
+	if p.Lat.Hit < 1 || p.Lat.Req < 1 || p.Lat.Data < 1 {
+		return fmt.Errorf("opt: invalid latencies %+v", p.Lat)
+	}
+	return nil
+}
+
+// Timers materializes a full timer vector from a chromosome (one gene per
+// timed core, in core order).
+func (p *Problem) Timers(genes []config.Timer) []config.Timer {
+	out := make([]config.Timer, len(p.Streams))
+	g := 0
+	for i := range p.Streams {
+		if p.Timed[i] {
+			out[i] = genes[g]
+			g++
+		} else {
+			out[i] = config.TimerMSI
+		}
+	}
+	return out
+}
+
+// numGenes returns the chromosome length.
+func (p *Problem) numGenes() int {
+	n := 0
+	for _, t := range p.Timed {
+		if t {
+			n++
+		}
+	}
+	return n
+}
+
+// Evaluation is the oracle's verdict on one timer vector.
+type Evaluation struct {
+	// Timers is the full evaluated vector.
+	Timers []config.Timer
+	// PerCore holds the analytical bound per core at these timers.
+	PerCore []analysis.CoreBound
+	// Objective is the paper's target: Σ_i WCML_i / Λ_i (average worst-case
+	// latency per request, summed over cores).
+	Objective float64
+	// Violation sums the relative WCML overshoot of violated constraints
+	// (0 = feasible).
+	Violation float64
+}
+
+// Feasible reports whether every requirement is met.
+func (e *Evaluation) Feasible() bool { return e.Violation == 0 }
+
+// Evaluate computes the objective and constraint state of a timer vector.
+func (p *Problem) Evaluate(timers []config.Timer) Evaluation {
+	n := len(p.Streams)
+	ev := Evaluation{
+		Timers:  append([]config.Timer(nil), timers...),
+		PerCore: make([]analysis.CoreBound, n),
+	}
+	for i := 0; i < n; i++ {
+		b := analysis.CoreBound{Core: i, Theta: timers[i]}
+		b.WCL = analysis.WCLCoHoRT(p.Lat, timers, i)
+		lambda := int64(len(p.Streams[i]))
+		if timers[i].Timed() {
+			// The paper's oracle: in-isolation hit analysis (Fig. 2a).
+			b.MHit, b.MMiss = analysis.IsolationHits(p.Streams[i], p.L1, p.Lat, timers[i])
+			b.WCMLBound = analysis.WCML(b.MHit, b.MMiss, p.Lat.Hit, b.WCL)
+		} else {
+			b.MMiss = lambda
+			b.WCMLBound = analysis.WCMLAllMiss(lambda, b.WCL)
+		}
+		ev.PerCore[i] = b
+		// Timed cores contribute their per-request bound fully; MSI cores
+		// contribute with the resolved MSIWeight (see the field's comment).
+		if lambda > 0 {
+			term := float64(b.WCMLBound) / float64(lambda)
+			if p.Timed[i] {
+				ev.Objective += term
+			} else {
+				ev.Objective += p.msiWeight() * term
+			}
+		}
+		// C1: enforced for timed cores with a requirement.
+		if timers[i].Timed() && p.Gamma != nil && p.Gamma[i] > 0 && b.WCMLBound > p.Gamma[i] {
+			ev.Violation += float64(b.WCMLBound-p.Gamma[i]) / float64(p.Gamma[i])
+		}
+	}
+	return ev
+}
+
+// fitness folds constraint violations into a single minimized scalar: any
+// infeasible point ranks strictly worse than every feasible one.
+func fitness(ev *Evaluation) float64 {
+	if ev.Violation == 0 {
+		return ev.Objective
+	}
+	return 1e18 * (1 + ev.Violation)
+}
+
+// GAConfig tunes the genetic algorithm. DefaultGA mirrors a conventional
+// small-population setup.
+type GAConfig struct {
+	// Pop is the population size.
+	Pop int
+	// Generations is the number of evolution rounds.
+	Generations int
+	// Elite is the number of best individuals copied unchanged.
+	Elite int
+	// TournamentK is the tournament selection size.
+	TournamentK int
+	// CrossoverProb is the per-offspring probability of uniform crossover.
+	CrossoverProb float64
+	// MutationProb is the per-gene mutation probability.
+	MutationProb float64
+	// Seed makes runs deterministic.
+	Seed uint64
+}
+
+// DefaultGA returns the parameters used by the experiment harness.
+func DefaultGA(seed uint64) GAConfig {
+	return GAConfig{
+		Pop:           32,
+		Generations:   40,
+		Elite:         2,
+		TournamentK:   3,
+		CrossoverProb: 0.9,
+		MutationProb:  0.25,
+		Seed:          seed,
+	}
+}
+
+// Result is the optimizer's output.
+type Result struct {
+	// Timers is the best full timer vector found.
+	Timers []config.Timer
+	// Eval is the evaluation of Timers.
+	Eval Evaluation
+	// ThetaIS is the per-gene search upper bound θ_is (core order over
+	// timed cores).
+	ThetaIS []config.Timer
+	// BestHistory records the best fitness per generation.
+	BestHistory []float64
+	// Evaluations counts oracle calls.
+	Evaluations int
+}
+
+// Optimize runs the GA and returns the best timer vector found. With no
+// timed cores it returns the all-MSI vector immediately.
+func Optimize(p *Problem, gc GAConfig) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if gc.Pop < 2 || gc.Generations < 1 {
+		return nil, fmt.Errorf("opt: degenerate GA config %+v", gc)
+	}
+	if gc.Elite >= gc.Pop {
+		return nil, fmt.Errorf("opt: elite %d must be below population %d", gc.Elite, gc.Pop)
+	}
+	nGenes := p.numGenes()
+	res := &Result{}
+	if nGenes == 0 {
+		timers := p.Timers(nil)
+		ev := p.Evaluate(timers)
+		res.Timers = timers
+		res.Eval = ev
+		res.Evaluations = 1
+		return res, nil
+	}
+
+	// Per-gene upper bounds: θ_is from the saturation sweep (§V).
+	res.ThetaIS = make([]config.Timer, 0, nGenes)
+	for i, timed := range p.Timed {
+		if !timed {
+			continue
+		}
+		thIS, _ := analysis.SaturationTimer(p.Streams[i], p.L1, p.Lat)
+		res.ThetaIS = append(res.ThetaIS, thIS)
+	}
+
+	rng := trace.NewRNG(gc.Seed ^ 0x6f7074) // "opt"
+	randGene := func(g int) config.Timer {
+		hi := int64(res.ThetaIS[g])
+		// Log-uniform draw over [1, θ_is] so small timers are explored.
+		u := rng.Float64()
+		v := math.Exp(u * math.Log(float64(hi)))
+		th := config.Timer(v)
+		if th < 1 {
+			th = 1
+		}
+		if th > res.ThetaIS[g] {
+			th = res.ThetaIS[g]
+		}
+		return th
+	}
+
+	type indiv struct {
+		genes []config.Timer
+		ev    Evaluation
+		fit   float64
+	}
+	eval := func(genes []config.Timer) indiv {
+		ev := p.Evaluate(p.Timers(genes))
+		res.Evaluations++
+		return indiv{genes: genes, ev: ev, fit: fitness(&ev)}
+	}
+
+	pop := make([]indiv, gc.Pop)
+	for i := range pop {
+		genes := make([]config.Timer, nGenes)
+		for g := range genes {
+			switch {
+			case i == 0:
+				genes[g] = 1 // minimal timers: lowest interference
+			case i == 1:
+				genes[g] = res.ThetaIS[g] // saturated hits
+			default:
+				genes[g] = randGene(g)
+			}
+		}
+		pop[i] = eval(genes)
+	}
+
+	best := pop[0]
+	for i := range pop {
+		if pop[i].fit < best.fit {
+			best = pop[i]
+		}
+	}
+
+	tournament := func() indiv {
+		w := pop[rng.Intn(len(pop))]
+		for k := 1; k < gc.TournamentK; k++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.fit < w.fit {
+				w = c
+			}
+		}
+		return w
+	}
+
+	for gen := 0; gen < gc.Generations; gen++ {
+		next := make([]indiv, 0, gc.Pop)
+		// Elitism: keep the best individuals (selection sort over a copy).
+		order := make([]int, len(pop))
+		for i := range order {
+			order[i] = i
+		}
+		for e := 0; e < gc.Elite; e++ {
+			bi := e
+			for j := e + 1; j < len(order); j++ {
+				if pop[order[j]].fit < pop[order[bi]].fit {
+					bi = j
+				}
+			}
+			order[e], order[bi] = order[bi], order[e]
+			next = append(next, pop[order[e]])
+		}
+		for len(next) < gc.Pop {
+			a, b := tournament(), tournament()
+			child := make([]config.Timer, nGenes)
+			if rng.Float64() < gc.CrossoverProb {
+				for g := range child {
+					if rng.Float64() < 0.5 {
+						child[g] = a.genes[g]
+					} else {
+						child[g] = b.genes[g]
+					}
+				}
+			} else {
+				copy(child, a.genes)
+			}
+			for g := range child {
+				if rng.Float64() < gc.MutationProb {
+					// Geometric step around the current value, or a fresh
+					// log-uniform draw 20% of the time.
+					if rng.Float64() < 0.2 {
+						child[g] = randGene(g)
+					} else {
+						factor := 0.5 + rng.Float64()*1.5
+						v := config.Timer(float64(child[g]) * factor)
+						if v < 1 {
+							v = 1
+						}
+						if v > res.ThetaIS[g] {
+							v = res.ThetaIS[g]
+						}
+						child[g] = v
+					}
+				}
+			}
+			next = append(next, eval(child))
+		}
+		pop = next
+		for i := range pop {
+			if pop[i].fit < best.fit {
+				best = pop[i]
+			}
+		}
+		res.BestHistory = append(res.BestHistory, best.fit)
+	}
+
+	res.Timers = p.Timers(best.genes)
+	res.Eval = best.ev
+	return res, nil
+}

@@ -1,0 +1,140 @@
+// Package sim provides a deterministic discrete-event simulation kernel with
+// integer cycle timestamps. It is the substrate under the cycle-accurate
+// cache-system model in internal/core: components schedule callbacks at
+// absolute cycles and the engine executes them in (time, insertion order)
+// order, which makes every run bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in clock cycles from reset.
+type Cycle int64
+
+// Event is a callback scheduled to run at a specific cycle.
+type Event func(now Cycle)
+
+// item is a scheduled event inside the queue.
+type item struct {
+	at  Cycle
+	seq uint64 // tie-breaker: insertion order
+	fn  Event
+}
+
+// eventHeap orders items by (at, seq).
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ErrPastEvent is returned by ScheduleAt when the requested cycle precedes
+// the engine's current time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Engine is a single-threaded discrete-event simulation engine.
+// The zero value is ready to use and starts at cycle 0.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	queue  eventHeap
+	budget Cycle // 0 means unlimited
+}
+
+// New returns an engine starting at cycle 0.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetBudget limits Run to at most limit cycles of simulated time
+// (0 removes the limit). Run returns ErrBudgetExceeded if the limit is hit
+// while events remain.
+func (e *Engine) SetBudget(limit Cycle) { e.budget = limit }
+
+// ErrBudgetExceeded is returned by Run when the cycle budget set with
+// SetBudget is exhausted before the event queue drains.
+var ErrBudgetExceeded = errors.New("sim: cycle budget exceeded")
+
+// Schedule queues fn to run delay cycles from now. A zero delay runs fn later
+// in the current cycle, after all previously queued events for this cycle.
+func (e *Engine) Schedule(delay Cycle, fn Event) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.push(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at the absolute cycle at.
+func (e *Engine) ScheduleAt(at Cycle, fn Event) error {
+	if at < e.now {
+		return fmt.Errorf("%w: at=%d now=%d", ErrPastEvent, at, e.now)
+	}
+	e.push(at, fn)
+	return nil
+}
+
+func (e *Engine) push(at Cycle, fn Event) {
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	e.seq++
+	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+}
+
+// Step executes the earliest pending event, advancing time to its cycle.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(item)
+	if it.at < e.now {
+		// Heap discipline makes this unreachable; guard anyway.
+		panic(fmt.Sprintf("sim: time moved backwards: %d < %d", it.at, e.now))
+	}
+	e.now = it.at
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue drains or the cycle budget is hit.
+func (e *Engine) Run() error {
+	for len(e.queue) > 0 {
+		if e.budget > 0 && e.queue[0].at > e.budget {
+			return fmt.Errorf("%w: next event at %d, budget %d", ErrBudgetExceeded, e.queue[0].at, e.budget)
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps ≤ deadline, leaving later events
+// queued, and advances time to deadline.
+func (e *Engine) RunUntil(deadline Cycle) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

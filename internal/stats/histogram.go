@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// histBuckets is the number of power-of-two latency buckets; bucket k holds
+// values in [2^(k−1), 2^k), bucket 0 holds zero. 2^40 cycles dwarfs any
+// realistic per-request latency.
+const histBuckets = 41
+
+// Histogram accumulates a latency distribution in power-of-two buckets.
+// The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+	max    int64
+}
+
+// Observe records one non-negative sample (negative samples are clamped
+// to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns an upper bound on the p-quantile (0 < p ≤ 1): the
+// upper edge of the bucket containing it. Returns 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(p * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.counts[b]
+		if cum >= target {
+			if b == 0 {
+				return 0
+			}
+			upper := int64(1)<<uint(b) - 1
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// Buckets returns the non-empty buckets as (upperBound, count) pairs in
+// ascending order.
+func (h *Histogram) Buckets() (uppers, counts []int64) {
+	for b := 0; b < histBuckets; b++ {
+		if h.counts[b] == 0 {
+			continue
+		}
+		upper := int64(0)
+		if b > 0 {
+			upper = int64(1)<<uint(b) - 1
+		}
+		uppers = append(uppers, upper)
+		counts = append(counts, h.counts[b])
+	}
+	return uppers, counts
+}
+
+// String renders a compact text histogram with proportional bars.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "(empty histogram)\n"
+	}
+	uppers, counts := h.Buckets()
+	var peak int64
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i := range uppers {
+		bar := int(40 * counts[i] / peak)
+		fmt.Fprintf(&b, "  ≤%12s %8d %s\n", Cycles(uppers[i]), counts[i], strings.Repeat("#", bar))
+	}
+	fmt.Fprintf(&b, "  p50 ≤ %s, p99 ≤ %s, max %s over %d samples\n",
+		Cycles(h.Percentile(0.5)), Cycles(h.Percentile(0.99)), Cycles(h.max), h.total)
+	return b.String()
+}

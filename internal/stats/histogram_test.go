@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Total() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if !strings.Contains(h.String(), "empty") {
+		t.Fatal("empty render wrong")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(54)  // bucket ≤63
+	h.Observe(54)  // same bucket
+	h.Observe(216) // bucket ≤255
+	uppers, counts := h.Buckets()
+	wantU := []int64{0, 1, 63, 255}
+	wantC := []int64{1, 1, 2, 1}
+	if len(uppers) != len(wantU) {
+		t.Fatalf("buckets = %v/%v", uppers, counts)
+	}
+	for i := range wantU {
+		if uppers[i] != wantU[i] || counts[i] != wantC[i] {
+			t.Fatalf("buckets = %v/%v, want %v/%v", uppers, counts, wantU, wantC)
+		}
+	}
+	if h.Max() != 216 || h.Total() != 5 {
+		t.Fatalf("max %d total %d", h.Max(), h.Total())
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(1)
+	}
+	h.Observe(1000)
+	if p := h.Percentile(0.5); p != 1 {
+		t.Fatalf("p50 = %d, want 1", p)
+	}
+	// p100 is capped at the observed max, not the bucket edge.
+	if p := h.Percentile(1); p != 1000 {
+		t.Fatalf("p100 = %d, want 1000", p)
+	}
+	// Out-of-range p clamps.
+	if h.Percentile(-3) != 1 || h.Percentile(7) != 1000 {
+		t.Fatal("percentile clamping wrong")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Total() != 1 || h.Max() != 0 {
+		t.Fatalf("negative sample handling: total %d max %d", h.Total(), h.Max())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i < 1000; i *= 2 {
+		h.Observe(i)
+	}
+	out := h.String()
+	if !strings.Contains(out, "p50") || !strings.Contains(out, "#") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by max; total equals
+// the number of observations.
+func TestPropertyHistogram(t *testing.T) {
+	f := func(samples []uint16) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Observe(int64(s))
+		}
+		if h.Total() != int64(len(samples)) {
+			return false
+		}
+		prev := int64(-1)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+			v := h.Percentile(p)
+			if v < prev || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreRecordsHistogram(t *testing.T) {
+	var c Core
+	c.RecordAccess(true, 1)
+	c.RecordAccess(false, 216)
+	if c.Latency.Total() != 2 {
+		t.Fatalf("core histogram total = %d", c.Latency.Total())
+	}
+	if c.Latency.Max() != 216 {
+		t.Fatalf("core histogram max = %d", c.Latency.Max())
+	}
+}

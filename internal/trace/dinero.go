@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDinero decodes one core's stream from the classic Dinero ("din")
+// trace format used by decades of cache-simulation tooling — one access per
+// line:
+//
+//	<type> <hex-address>
+//
+// where type 0 is a data read, 1 a data write, and 2 an instruction fetch
+// (imported as a read). Lines may carry trailing fields (cycle counts,
+// sizes), which are ignored; '#' or '-' prefixed lines are comments.
+// Compute gaps are not part of the format and default to 0; callers can
+// post-process the stream if they have timing information.
+func ParseDinero(r io.Reader) (Stream, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var s Stream
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "-") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: din line %d: want at least 2 fields, got %d", lineNo, len(fields))
+		}
+		var kind Kind
+		switch fields[0] {
+		case "0", "2": // data read / instruction fetch
+			kind = Read
+		case "1":
+			kind = Write
+		default:
+			return nil, fmt.Errorf("trace: din line %d: unknown access type %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: din line %d: bad address %q", lineNo, fields[1])
+		}
+		s = append(s, Access{Addr: addr, Kind: kind})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: din read: %w", err)
+	}
+	return s, nil
+}
+
+// FromStreams assembles a multi-core Trace from per-core streams (e.g. one
+// Dinero file per core).
+func FromStreams(name string, streams ...Stream) *Trace {
+	return &Trace{Name: name, Streams: streams}
+}

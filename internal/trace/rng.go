@@ -1,0 +1,101 @@
+package trace
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. It is tiny, fast, has no
+// global state, and gives bit-identical sequences on every platform, which
+// keeps trace generation and the GA deterministic without math/rand's
+// versioned behaviour.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (0 mean always returns 0). Used for compute gaps between accesses.
+func (r *RNG) Geometric(mean float64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	// P(stop) = 1/(mean+1) per trial gives E[X] = mean.
+	p := 1.0 / (mean + 1.0)
+	var n int64
+	for r.Float64() >= p {
+		n++
+		if n > int64(mean)*64+1024 { // hard cap against pathological streaks
+			break
+		}
+	}
+	return n
+}
+
+// Fork derives an independent generator. Streams produced by the parent and
+// the child do not overlap for practical sequence lengths.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xda3e39cb94b95bdb)
+}
+
+// Zipf samples indices in [0, n) with a power-law bias toward low indices,
+// using a precomputed cumulative table. s controls the skew (s=0 uniform;
+// s≈1 classic Zipf).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n items with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("trace: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / math.Pow(float64(i+1), s)
+		sum += w
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws one index using randomness from r.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	// Binary search for the first cdf entry ≥ u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
