@@ -1,0 +1,23 @@
+#!/bin/sh
+# check.sh runs the same gate as CI (.github/workflows/ci.yml) locally:
+# build, go vet, the determinism lint suite, the test suite, and the
+# race-detector pass over the simulator packages.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> cohort-vet ./..."
+go run ./cmd/cohort-vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/..."
+go test -race ./internal/...
+
+echo "==> all checks passed"

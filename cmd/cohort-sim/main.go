@@ -40,6 +40,7 @@ func main() {
 		hist       = flag.Bool("hist", false, "print per-core latency histograms")
 		hwOverhead = flag.Bool("hwcost", false, "print the CoHoRT hardware-overhead report")
 		vcdFile    = flag.String("vcd", "", "write a Value Change Dump of the run to this file")
+		checkInv   = flag.Bool("check", false, "validate protocol invariants after every bus transaction (slower)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,9 @@ func main() {
 	}
 	if *mesi {
 		cfg.Snoop = cohort.SnoopMESI
+	}
+	if *checkInv {
+		cfg.CheckInvariants = true
 	}
 
 	bounds, err := cohort.Bounds(cfg, tr)

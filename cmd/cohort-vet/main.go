@@ -1,0 +1,96 @@
+// Command cohort-vet runs the CoHoRT determinism lint suite (internal/lint)
+// over the simulator packages. The analyzers enforce the contract that makes
+// every simulation bit-reproducible: no map-order dependence, no wall-clock
+// reads, no global randomness, no concurrency inside event callbacks, and no
+// floating-point leakage into cycle arithmetic.
+//
+// Usage:
+//
+//	go run ./cmd/cohort-vet [packages]
+//
+// Packages default to ./... and accept any `go list` pattern. Only the
+// packages bound by the determinism contract (internal/{sim,core,bus,cache,
+// coherence,memctrl,sched,trace,opt}) are checked; everything else matched by
+// the pattern is skipped, so `./...` is always a valid invocation. Exit
+// status is 1 when any diagnostic is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cohort/internal/lint"
+)
+
+// contractPackages is the set of import paths bound by the determinism
+// contract. Reporting/CLI packages (stats, experiments, vcd, cmd/*) may
+// legitimately read the clock or format floats; simulator state may not.
+var contractPackages = map[string]bool{
+	"cohort/internal/sim":       true,
+	"cohort/internal/core":      true,
+	"cohort/internal/bus":       true,
+	"cohort/internal/cache":     true,
+	"cohort/internal/coherence": true,
+	"cohort/internal/memctrl":   true,
+	"cohort/internal/sched":     true,
+	"cohort/internal/trace":     true,
+	"cohort/internal/opt":       true,
+	"cohort/internal/invariant": true, // runs inside the simulator hot path
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cohort-vet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the determinism lint suite over the simulator packages.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	checked, failed := 0, 0
+	for _, pkg := range pkgs {
+		if !contractPackages[pkg.Path] {
+			continue
+		}
+		checked++
+		for _, a := range analyzers {
+			diags, err := lint.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				failed++
+				fmt.Printf("%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+			}
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "cohort-vet: no contract packages matched %v\n", patterns)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "cohort-vet: %d violation(s) across %d package(s)\n", failed, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("cohort-vet: ok (%d packages, %d analyzers)\n", checked, len(analyzers))
+}

@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"cohort/internal/trace"
 )
@@ -120,11 +121,18 @@ func (d *Directory) Peek(lineAddr uint64) *LineInfo { return d.lines[lineAddr] }
 // Len returns the number of tracked lines.
 func (d *Directory) Len() int { return len(d.lines) }
 
-// ForEach visits every tracked line in unspecified order; callers that need
-// determinism must sort. Intended for invariant checks in tests.
+// ForEach visits every tracked line in ascending address order. The sort
+// makes the visit order — and therefore any event the callback schedules —
+// identical between runs; mode switches iterate the directory on the hot
+// path, so this must never fall back to raw map order.
 func (d *Directory) ForEach(fn func(lineAddr uint64, li *LineInfo)) {
-	for la, li := range d.lines {
-		fn(la, li)
+	addrs := make([]uint64, 0, len(d.lines))
+	for la := range d.lines {
+		addrs = append(addrs, la)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, la := range addrs {
+		fn(la, d.lines[la])
 	}
 }
 

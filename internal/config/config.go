@@ -265,6 +265,13 @@ type System struct {
 	// on any outstanding miss (a blocking L1 instead of the paper's
 	// non-blocking one). Ablation knob; default false.
 	BlockingCaches bool `json:"blocking_caches,omitempty"`
+	// CheckInvariants, when true, attaches the protocol invariant checker
+	// (internal/invariant) to the built system: after every bus transaction
+	// it validates SWMR, value consistency, LLC inclusion, and the timer
+	// protection bounds, and Run fails with a structured violation at the
+	// first breach. Costs a sweep proportional to cache capacity per
+	// transaction; meant for tests and debugging, off by default.
+	CheckInvariants bool `json:"check_invariants,omitempty"`
 }
 
 // N returns the number of cores.

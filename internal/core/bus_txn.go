@@ -124,6 +124,7 @@ func (s *System) finishBroadcast(c *coreState, m *missState, now int64) {
 	// waiting out — a stale release time would charge phantom timer
 	// latency beyond Equation 1.
 	s.refreshLine(m.line, li, now)
+	s.verifyInvariants(now)
 	if li.HeadWaiter().Core == c.id {
 		// Fuse the data phase onto the same bus tenure when the data is
 		// already available. The broadcaster still holds the bus (busHeld),
@@ -161,13 +162,17 @@ func (s *System) refreshLine(line uint64, li *coherence.LineInfo, now int64) {
 	if li.Owner != coherence.MemOwner && !li.OwnerReleased {
 		owner := s.cores[li.Owner]
 		rel := coherence.ReleaseTime(li.OwnerFetch, base, owner.theta)
+		if TestHooks.TimerReleaseSkew != 0 && owner.theta.Timed() {
+			rel += TestHooks.TimerReleaseSkew // seeded fault, mutation tests only
+		}
 		if rel > ready {
 			ready = rel
 		}
 		if rel <= now {
+			s.checkTimerRelease(now, line, li.Owner, li.OwnerFetch, owner.theta, base)
 			s.releaseOwner(line, li, head.Write, now)
 		} else {
-			s.scheduleOwnerRelease(line, li, li.Owner, li.OwnerFetch, head.Write, rel)
+			s.scheduleOwnerRelease(line, li, li.Owner, li.OwnerFetch, head.Write, base, rel)
 		}
 	}
 	if head.Write {
@@ -186,9 +191,10 @@ func (s *System) refreshLine(line uint64, li *coherence.LineInfo, now int64) {
 				ready = rel
 			}
 			if rel <= now {
+				s.checkTimerRelease(now, line, j, e.FetchedAt, cj.theta, base)
 				s.invalidateSharer(cj, line, li)
 			} else {
-				s.scheduleSharerInvalidation(cj, line, e.FetchedAt, rel)
+				s.scheduleSharerInvalidation(cj, line, e.FetchedAt, base, rel)
 			}
 		}
 	}
@@ -214,6 +220,9 @@ func (s *System) releaseOwner(line uint64, li *coherence.LineInfo, write bool, n
 		if write || oc.theta != config.TimerMSI {
 			oc.l1.Invalidate(e)
 			s.run.Cores[oc.id].Invalidations++
+		} else if TestHooks.SkipMSIDowngrade {
+			// Seeded fault (mutation tests only): keep the stale Modified
+			// copy instead of downgrading it to Shared.
 		} else {
 			e.State = cache.Shared
 			li.AddSharer(oc.id)
@@ -225,8 +234,10 @@ func (s *System) releaseOwner(line uint64, li *coherence.LineInfo, write bool, n
 
 // scheduleOwnerRelease schedules releaseOwner at the computed expiry, guarded
 // against the world changing in between (ownership transfer, eviction, mode
-// switch re-basing the epoch).
-func (s *System) scheduleOwnerRelease(line uint64, li *coherence.LineInfo, owner int, fetchStamp int64, write bool, at int64) {
+// switch re-basing the epoch). reqVisible is the request cycle the expiry was
+// computed against; the invariant checker replays the computation at fire
+// time to pin the release to the exact Fig. 3 expiry.
+func (s *System) scheduleOwnerRelease(line uint64, li *coherence.LineInfo, owner int, fetchStamp int64, write bool, reqVisible, at int64) {
 	s.at(at, func(n int64) {
 		if li.Owner != owner || li.OwnerReleased || li.OwnerFetch != fetchStamp || !li.PendingInv() {
 			return
@@ -234,6 +245,7 @@ func (s *System) scheduleOwnerRelease(line uint64, li *coherence.LineInfo, owner
 		if li.HeadWaiter().Write != write {
 			return
 		}
+		s.checkTimerRelease(n, line, owner, fetchStamp, s.cores[owner].theta, reqVisible)
 		s.releaseOwner(line, li, write, n)
 	})
 }
@@ -249,9 +261,9 @@ func (s *System) invalidateSharer(cj *coreState, line uint64, li *coherence.Line
 }
 
 // scheduleSharerInvalidation schedules a guarded invalidation at the copy's
-// release time.
-func (s *System) scheduleSharerInvalidation(cj *coreState, line uint64, fetchStamp, at int64) {
-	s.at(at, func(int64) {
+// release time; reqVisible plays the same role as in scheduleOwnerRelease.
+func (s *System) scheduleSharerInvalidation(cj *coreState, line uint64, fetchStamp, reqVisible, at int64) {
+	s.at(at, func(n int64) {
 		e := cj.l1.Lookup(line)
 		if e == nil || e.State != cache.Shared || e.FetchedAt != fetchStamp {
 			return
@@ -260,6 +272,7 @@ func (s *System) scheduleSharerInvalidation(cj *coreState, line uint64, fetchSta
 		if !li.PendingInv() {
 			return
 		}
+		s.checkTimerRelease(n, line, cj.id, fetchStamp, cj.theta, reqVisible)
 		s.invalidateSharer(cj, line, li)
 	})
 }
@@ -314,9 +327,11 @@ func (s *System) finishData(c *coreState, m *missState, now int64) {
 			}
 		}
 		// The memory observes the transfer (snarf) for loads, and always
-		// under the via-memory policy.
+		// under the via-memory policy. Installing the line may victimize
+		// another LLC entry; inclusion demands its private copies die too.
 		if !m.write || s.cfg.Transfer == config.TransferViaMemory {
-			s.llc.WriteBack(m.line, now, s.pinnedInL1)
+			backInv := s.llc.WriteBack(m.line, now, s.pinnedInL1)
+			s.applyBackInvalidations(backInv, now)
 		}
 	}
 	li.Owner = coherence.MemOwner
@@ -344,6 +359,7 @@ func (s *System) finishData(c *coreState, m *missState, now int64) {
 	if li.PendingInv() {
 		s.refreshLine(m.line, li, now)
 	}
+	s.verifyInvariants(now)
 	s.kickArbiter(now)
 }
 

@@ -120,9 +120,10 @@ func (s *System) completeMiss(c *coreState, m *missState, st cache.State, now in
 		// θ = 0: serve the data without caching it.
 		if m.write {
 			li.Version++
-			s.llc.WriteBack(m.line, now, s.pinnedInL1)
+			backInv := s.llc.WriteBack(m.line, now, s.pinnedInL1)
 			li.Owner = coherence.MemOwner
 			li.OwnerReleased = false
+			s.applyBackInvalidations(backInv, now)
 		}
 	} else {
 		victim := c.l1.VictimFor(m.line, nil)
@@ -161,10 +162,14 @@ func (s *System) completeMiss(c *coreState, m *missState, st cache.State, now in
 func (s *System) evictL1(c *coreState, victim *cache.Entry, now int64) {
 	line := victim.LineAddr
 	li := s.dir.Get(line)
+	var backInv []uint64
 	switch victim.State {
 	case cache.Modified:
 		s.run.Cores[c.id].Writebacks++
-		s.llc.WriteBack(line, now, s.pinnedInL1)
+		// Inclusion: re-installing the line may victimize another LLC
+		// entry whose private copies must die with it (applied below,
+		// after the victim itself leaves this L1).
+		backInv = s.llc.WriteBack(line, now, s.pinnedInL1)
 		if li.Owner == c.id {
 			li.Owner = coherence.MemOwner
 			li.OwnerReleased = false
@@ -179,6 +184,7 @@ func (s *System) evictL1(c *coreState, victim *cache.Entry, now int64) {
 		li.RemoveSharer(c.id)
 	}
 	c.l1.Invalidate(victim)
+	s.applyBackInvalidations(backInv, now)
 	if li.PendingInv() {
 		s.refreshLine(line, li, now)
 	}

@@ -62,6 +62,10 @@ func TestStressRandomPlatforms(t *testing.T) {
 			}
 		}
 		cfg.Mode = 1 + rng.Intn(levels)
+		// Every stress run doubles as an invariant-checker soak: SWMR,
+		// value consistency, inclusion and timer bounds are re-validated
+		// after every bus transaction.
+		cfg.CheckInvariants = true
 
 		label := fmt.Sprintf("iter %d (n=%d arb=%s snoop=%s transfer=%s perfect=%v mode=%d timers=%v)",
 			iter, nCores, cfg.Arbiter, cfg.Snoop, cfg.Transfer, cfg.PerfectLLC, cfg.Mode, cfg.Timers())
@@ -98,6 +102,9 @@ func TestStressRandomPlatforms(t *testing.T) {
 			return sys
 		}
 		sys := runOnce(false)
+		if sys.InvariantChecks() == 0 {
+			t.Fatalf("%s: invariant checker enabled but never ran", label)
+		}
 		// Bound checks only where the analysis promises them: MSI-snoop
 		// direct/via-memory systems without mode switches. (MESI only
 		// removes misses, so the MSI bounds still dominate.)
@@ -158,6 +165,7 @@ func TestStressSingleLineContention(t *testing.T) {
 		for _, theta := range []config.Timer{config.TimerMSI, 0, 1, 30, 500} {
 			cfg := config.PaperDefaults(4, 1)
 			cfg.Arbiter = arb
+			cfg.CheckInvariants = true
 			if err := cfg.SetTimers(1, []config.Timer{theta, theta, theta, theta}); err != nil {
 				t.Fatal(err)
 			}
@@ -204,6 +212,7 @@ func TestStressSingleLineContention(t *testing.T) {
 func TestStressReadersWriterMix(t *testing.T) {
 	for _, theta := range []config.Timer{config.TimerMSI, 25, 400} {
 		cfg := config.PaperDefaults(4, 1)
+		cfg.CheckInvariants = true
 		if err := cfg.SetTimers(1, []config.Timer{theta, theta, theta, theta}); err != nil {
 			t.Fatal(err)
 		}

@@ -9,11 +9,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"cohort/internal/bus"
 	"cohort/internal/cache"
 	"cohort/internal/coherence"
 	"cohort/internal/config"
+	"cohort/internal/invariant"
 	"cohort/internal/memctrl"
 	"cohort/internal/sim"
 	"cohort/internal/stats"
@@ -65,6 +67,9 @@ type System struct {
 	busHeld       bool // a transaction owner may still extend its tenure
 	kickScheduled map[int64]bool
 	contention    map[uint64]*LineContention
+
+	inv    *invariant.Checker // nil unless cfg.CheckInvariants
+	invErr error              // first invariant violation, latched
 
 	modeSwitches  []scheduledSwitch
 	tracer        Tracer
@@ -137,6 +142,9 @@ func New(cfg *config.System, tr *trace.Trace) (*System, error) {
 			wakeAt: -1,
 		})
 	}
+	if cfg.CheckInvariants {
+		s.inv = invariant.NewChecker(s)
+	}
 	return s, nil
 }
 
@@ -203,7 +211,13 @@ func (s *System) Run() (*stats.Run, error) {
 		c.nextEligible = c.stream[0].Gap
 		s.at(c.nextEligible, func(now int64) { s.coreWake(c, now) })
 	}
-	if err := s.eng.Run(); err != nil {
+	err := s.eng.Run()
+	// An invariant violation outranks any downstream symptom (budget
+	// exhaustion, deadlock): report the first breach, not the wreckage.
+	if s.invErr != nil {
+		return nil, s.invErr
+	}
+	if err != nil {
 		return nil, err
 	}
 	for _, c := range s.cores {
@@ -293,7 +307,13 @@ func (s *System) CheckCoherence() error {
 			copies[e.LineAddr] = append(copies[e.LineAddr], copyInfo{c.id, e.State, e.Version})
 		})
 	}
-	for line, cs := range copies {
+	lines := make([]uint64, 0, len(copies))
+	for line := range copies {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		cs := copies[line]
 		li := s.dir.Peek(line)
 		if li == nil {
 			return fmt.Errorf("line %#x cached but not in directory", line)

@@ -1,0 +1,71 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"cohort/internal/cache"
+	"cohort/internal/config"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindSWMR:             "swmr",
+		KindValueConsistency: "value-consistency",
+		KindInclusion:        "inclusion",
+		KindTimerProtection:  "timer-protection",
+		Kind(99):             "invariant",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestErrorFormat(t *testing.T) {
+	e := &Error{
+		Kind: KindSWMR, Cycle: 640, Line: 0x40, Core: 2,
+		States: []CoreLineState{
+			{Core: 0, State: cache.Shared, Version: 3, FetchedAt: 100},
+			{Core: 2, State: cache.Modified, Version: 3, FetchedAt: 610},
+		},
+		Detail: "two owners",
+	}
+	msg := e.Error()
+	for _, want := range []string{"swmr", "cycle 640", "0x40", "core 2", "two owners", "core0=S v3@100", "core2=M v3@610"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	// Core -1 (no single offender) omits the core clause.
+	e2 := &Error{Kind: KindInclusion, Cycle: 1, Line: 2, Core: -1, Detail: "x"}
+	if strings.Contains(e2.Error(), "core -1") {
+		t.Errorf("Error() = %q should omit core -1", e2.Error())
+	}
+}
+
+func TestCheckTimerRelease(t *testing.T) {
+	c := NewChecker(nil) // CheckTimerRelease never touches the view
+	// Timed: fetched 54, request 64, θ=500 → expiry 554.
+	if err := c.CheckTimerRelease(554, 0x40, 0, 54, config.Timer(500), 64); err != nil {
+		t.Fatalf("exact release flagged: %v", err)
+	}
+	if err := c.CheckTimerRelease(560, 0x40, 0, 54, config.Timer(500), 64); err == nil {
+		t.Fatal("late release not flagged")
+	} else if !strings.Contains(err.Detail, "late") || err.Kind != KindTimerProtection {
+		t.Fatalf("late release: %v", err)
+	}
+	if err := c.CheckTimerRelease(547, 0x40, 0, 54, config.Timer(500), 64); err == nil {
+		t.Fatal("early release not flagged")
+	} else if !strings.Contains(err.Detail, "early") {
+		t.Fatalf("early release: %v", err)
+	}
+	// MSI releases exactly at the request.
+	if err := c.CheckTimerRelease(64, 0x40, 0, 54, config.TimerMSI, 64); err != nil {
+		t.Fatalf("MSI release at request flagged: %v", err)
+	}
+	if err := c.CheckTimerRelease(65, 0x40, 0, 54, config.TimerMSI, 64); err == nil {
+		t.Fatal("MSI release after request not flagged")
+	}
+}

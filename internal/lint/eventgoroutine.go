@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EventGoroutineAnalyzer flags goroutine spawns and channel operations inside
+// event callbacks scheduled on the sim.Engine. The engine is single-threaded
+// by design: events run in (cycle, insertion seq) order, and that total order
+// is the determinism guarantee. A goroutine forked from a callback races with
+// the event loop, and a channel handoff makes event effects depend on the Go
+// scheduler — both reintroduce exactly the nondeterminism the engine exists
+// to remove.
+var EventGoroutineAnalyzer = &Analyzer{
+	Name: "eventgoroutine",
+	Doc: "forbid goroutine spawns and channel operations inside callbacks " +
+		"scheduled on the sim.Engine (the event loop is single-threaded by contract)",
+	Run: runEventGoroutine,
+}
+
+// schedulerFuncs identifies functions whose final argument is executed as a
+// sim event callback: the engine's own entry points plus core.System.at,
+// the simulator-side wrapper every core component schedules through.
+func isSchedulerFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	ptr, ok := recv.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, typ := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case pkg == "cohort/internal/sim" && typ == "Engine":
+		return fn.Name() == "Schedule" || fn.Name() == "ScheduleAt"
+	case pkg == "cohort/internal/core" && typ == "System":
+		return fn.Name() == "at"
+	}
+	return false
+}
+
+func runEventGoroutine(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || !isSchedulerFunc(fn) {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkEventBody(pass, lit.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkEventBody reports concurrency constructs anywhere under an event
+// callback body, including nested function literals (they run, or escape,
+// from inside the event).
+func checkEventBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "goroutine spawned inside a sim.Engine event callback; "+
+				"the event loop is single-threaded — schedule another event instead")
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send inside a sim.Engine event callback; "+
+				"event effects must not depend on the Go scheduler")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pass.Reportf(x.Pos(), "channel receive inside a sim.Engine event callback; "+
+					"event effects must not depend on the Go scheduler")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(x.Pos(), "select inside a sim.Engine event callback; "+
+				"event effects must not depend on the Go scheduler")
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					pass.Reportf(x.Pos(), "range over channel inside a sim.Engine event callback; "+
+						"event effects must not depend on the Go scheduler")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					pass.Reportf(x.Pos(), "channel close inside a sim.Engine event callback; "+
+						"event effects must not depend on the Go scheduler")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,201 @@
+// Package lint is a small static-analysis framework plus the CoHoRT
+// determinism lint suite. The simulator's headline property — every run is
+// bit-reproducible — is a contract the Go compiler cannot check: a stray map
+// iteration in a hot path, a wall-clock read, or an unseeded random source
+// would silently produce runs that differ between executions while every test
+// still passes. The analyzers in this package enforce that contract
+// mechanically over the simulator packages (internal/{sim,core,bus,cache,
+// coherence,memctrl,sched,trace,opt}).
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is built on the standard library only, so
+// the repository stays dependency-free. Run the suite with the cohort-vet
+// command:
+//
+//	go run ./cmd/cohort-vet ./...
+//
+// A diagnostic can be suppressed where the flagged construct is provably
+// order-insensitive by annotating the preceding line with
+//
+//	//cohort:allow <analyzer-name> <reason>
+//
+// The reason is mandatory by convention (reviewed, not machine-checked).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+	allow map[allowKey]bool
+}
+
+// Analyzer is one determinism check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow-annotations.
+	Name string
+	// Doc is a one-paragraph description of the rule and its rationale.
+	Doc string
+	// Run reports diagnostics for the package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Reportf records a diagnostic unless an allow-annotation suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allowedAt(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+type allowKey struct {
+	file string
+	line int
+}
+
+// buildAllowIndex scans the package comments for //cohort:allow annotations
+// naming this pass's analyzer and records the source lines they cover (the
+// annotation line itself and the line after it).
+func (p *Pass) buildAllowIndex() {
+	p.allow = make(map[allowKey]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "cohort:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "cohort:allow"))
+				match := false
+				for _, fd := range fields {
+					if fd == p.Analyzer.Name {
+						match = true
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.allow[allowKey{pos.Filename, pos.Line}] = true
+				p.allow[allowKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+}
+
+// allowedAt reports whether an annotation suppresses diagnostics at pos.
+func (p *Pass) allowedAt(pos token.Pos) bool {
+	pp := p.Fset.Position(pos)
+	return p.allow[allowKey{pp.Filename, pp.Line}]
+}
+
+// Analyzers returns the full determinism suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRangeAnalyzer,
+		WallTimeAnalyzer,
+		GlobalRandAnalyzer,
+		EventGoroutineAnalyzer,
+		FloatAccumAnalyzer,
+	}
+}
+
+// Run executes one analyzer over a loaded package and returns its
+// diagnostics sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	pass.buildAllowIndex()
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	sort.Slice(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	return pass.diags, nil
+}
+
+// inspectWithStack walks the AST keeping the ancestor stack, calling fn with
+// each node and its ancestors (outermost first). Returning false from fn
+// prunes the subtree.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		stack = append(stack, n)
+		if !keep {
+			// Still push/pop symmetrically: Inspect will not descend, so pop
+			// immediately by returning false after removing the entry.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost function declaration or literal in the
+// ancestor stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// funcBody returns the body of a FuncDecl or FuncLit.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function object of a call expression, if it
+// is a named function or method.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// golden runs one analyzer over a testdata package and compares its
+// diagnostics against the `// want "regexp"` expectations in the sources —
+// a stdlib re-implementation of the analysistest contract: every want line
+// must produce a matching diagnostic, and every diagnostic must land on a
+// want line.
+func golden(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir, "cohort/lint-testdata/"+name)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := Run(a, pkg)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key]*regexp.Regexp{}
+	matched := map[key]bool{}
+	wantRe := regexp.MustCompile(`// want ("(?:[^"\\]|\\.)*")`)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %s: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[key{pos.Filename, pos.Line}] = regexp.MustCompile(pat)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		re, ok := wants[k]
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("%s:%d: diagnostic %q does not match want %q",
+				filepath.Base(pos.Filename), pos.Line, d.Message, re)
+		}
+		matched[k] = true
+	}
+	for k := range wants {
+		if !matched[k] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				filepath.Base(k.file), k.line, wants[k])
+		}
+	}
+}
+
+func TestMapRangeGolden(t *testing.T)       { golden(t, MapRangeAnalyzer, "maprange") }
+func TestWallTimeGolden(t *testing.T)       { golden(t, WallTimeAnalyzer, "walltime") }
+func TestGlobalRandGolden(t *testing.T)     { golden(t, GlobalRandAnalyzer, "globalrand") }
+func TestEventGoroutineGolden(t *testing.T) { golden(t, EventGoroutineAnalyzer, "eventgoroutine") }
+func TestFloatAccumGolden(t *testing.T)     { golden(t, FloatAccumAnalyzer, "floataccum") }
+
+// TestAnalyzerMetadata pins the suite roster: names are unique, documented,
+// and stable (annotations reference them).
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"maprange", "walltime", "globalrand", "eventgoroutine", "floataccum"} {
+		if !seen[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+}
+
+// TestRepositoryLintsClean is the in-process equivalent of
+// `go run ./cmd/cohort-vet ./...`: the simulator packages themselves must
+// satisfy the determinism contract.
+func TestRepositoryLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	targets := []string{
+		"cohort/internal/sim",
+		"cohort/internal/core",
+		"cohort/internal/bus",
+		"cohort/internal/cache",
+		"cohort/internal/coherence",
+		"cohort/internal/memctrl",
+		"cohort/internal/sched",
+		"cohort/internal/trace",
+		"cohort/internal/opt",
+		"cohort/internal/invariant",
+	}
+	pkgs, err := Load(targets...)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != len(targets) {
+		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(targets))
+	}
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			diags, err := Run(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+			}
+		}
+	}
+}
+
+// TestAllowAnnotationScope checks the annotation only suppresses the named
+// analyzer, not the whole suite.
+func TestAllowAnnotationScope(t *testing.T) {
+	dir := t.TempDir()
+	src := strings.Join([]string{
+		"package scope",
+		"import \"time\"",
+		"func f(m map[int]int) time.Time {",
+		"\t//cohort:allow maprange counting only",
+		"\tfor range m {",
+		"\t}",
+		"\treturn time.Now()",
+		"}",
+		"",
+	}, "\n")
+	if err := writeFile(filepath.Join(dir, "scope.go"), src); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "cohort/lint-testdata/scope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags, _ := Run(MapRangeAnalyzer, pkg); len(diags) != 0 {
+		t.Errorf("maprange not suppressed by annotation: %v", diags)
+	}
+	diags, err := Run(WallTimeAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Errorf("walltime diagnostics = %d, want 1 (annotation must not leak across analyzers)", len(diags))
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,44 @@
+// Package eventgoroutine is golden-test input for the eventgoroutine
+// analyzer. It schedules callbacks on the real sim.Engine so method
+// resolution works exactly as in simulator code.
+package eventgoroutine
+
+import "cohort/internal/sim"
+
+// bad spawns a goroutine and talks over channels inside event callbacks.
+func bad(eng *sim.Engine, ch chan int) {
+	eng.Schedule(1, func(now sim.Cycle) {
+		go func() {}() // want "goroutine spawned inside a sim.Engine event callback"
+		ch <- 1        // want "channel send inside a sim.Engine event callback"
+	})
+	_ = eng.ScheduleAt(5, func(now sim.Cycle) {
+		<-ch // want "channel receive inside a sim.Engine event callback"
+		select { // want "select inside a sim.Engine event callback"
+		default:
+		}
+	})
+}
+
+// badNested hides the spawn in a nested literal; still inside the event.
+func badNested(eng *sim.Engine, ch chan int) {
+	eng.Schedule(2, func(now sim.Cycle) {
+		helper := func() {
+			close(ch) // want "channel close inside a sim.Engine event callback"
+		}
+		helper()
+	})
+}
+
+// good schedules follow-up events instead of forking work.
+func good(eng *sim.Engine) {
+	eng.Schedule(1, func(now sim.Cycle) {
+		eng.Schedule(3, func(sim.Cycle) {})
+	})
+}
+
+// goodOutside uses channels outside any event callback: allowed (drivers and
+// CLIs coordinate however they like; only the event loop is constrained).
+func goodOutside(ch chan int) {
+	go func() { ch <- 1 }()
+	<-ch
+}

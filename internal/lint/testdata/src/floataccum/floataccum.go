@@ -1,0 +1,28 @@
+// Package floataccum is golden-test input for the floataccum analyzer.
+package floataccum
+
+import "cohort/internal/sim"
+
+// bad converts float expressions into the cycle domain.
+func bad(f float64, n int64) sim.Cycle {
+	a := sim.Cycle(f * 1.5)          // want "floating-point value converted into sim.Cycle"
+	b := sim.Cycle(int64(f))         // want "floating-point value converted into sim.Cycle"
+	c := sim.Cycle(float64(n) * 0.9) // want "floating-point value converted into sim.Cycle"
+	return a + b + c
+}
+
+// badAccum accumulates latency through a float detour.
+func badAccum(samples []float64) sim.Cycle {
+	var total sim.Cycle
+	for _, s := range samples {
+		total += sim.Cycle(s) // want "floating-point value converted into sim.Cycle"
+	}
+	return total
+}
+
+// good stays in integer math; exact constants are fine however written.
+func good(n int64) sim.Cycle {
+	budget := sim.Cycle(1e6) // exact integer constant: allowed
+	scaled := sim.Cycle(n * 3 / 2)
+	return budget + scaled
+}

@@ -1,0 +1,22 @@
+// Package globalrand is golden-test input for the globalrand analyzer.
+package globalrand
+
+import "math/rand"
+
+// bad draws from the process-global source.
+func bad(n int) int {
+	x := rand.Intn(n)   // want "global rand.Intn"
+	f := rand.Float64() // want "global rand.Float64"
+	rand.Shuffle(n, func(i, j int) {}) // want "global rand.Shuffle"
+	return x + int(f)
+}
+
+func badPerm(n int) []int {
+	return rand.Perm(n) // want "global rand.Perm"
+}
+
+// good threads an explicitly seeded generator.
+func good(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

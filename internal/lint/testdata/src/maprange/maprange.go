@@ -1,0 +1,80 @@
+// Package maprange is golden-test input for the maprange analyzer.
+package maprange
+
+import "sort"
+
+// bad ranges over a map with an order-sensitive body.
+func bad(m map[uint64]int) []uint64 {
+	var out []uint64
+	for k, v := range m { // want "range over map m is non-deterministic"
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// badSelector ranges over a map reached through a selector.
+type holder struct{ lines map[uint64]int }
+
+func badSelector(h holder) int {
+	total := 0
+	for _, v := range h.lines { // want "range over map lines is non-deterministic"
+		total -= total*2 + v // order-sensitive on purpose
+	}
+	return total
+}
+
+// goodSorted ranges over sorted keys, not the map.
+func goodSorted(m map[uint64]int) []int {
+	keys := make([]uint64, 0, len(m))
+	//cohort:allow maprange collecting keys to sort below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []int
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// goodCollectThenSort is the idiom the analyzer accepts without annotation:
+// the body only appends, and the slice is sorted after the loop.
+func goodCollectThenSort(m map[uint64]int) []uint64 {
+	var lines []uint64
+	for k := range m {
+		lines = append(lines, k)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
+// goodAnnotated asserts order-insensitivity explicitly.
+func goodAnnotated(m map[uint64]int) int {
+	n := 0
+	//cohort:allow maprange pure counting is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+// collectWithoutSort appends but never sorts: still flagged.
+func collectWithoutSort(m map[uint64]int) []uint64 {
+	var out []uint64
+	for k := range m { // want "range over map m is non-deterministic"
+		out = append(out, k)
+	}
+	return out
+}
+
+// goodSliceRange is untouched: ranging over slices is deterministic.
+func goodSliceRange(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}

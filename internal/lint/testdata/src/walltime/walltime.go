@@ -1,0 +1,28 @@
+// Package walltime is golden-test input for the walltime analyzer.
+package walltime
+
+import "time"
+
+// bad reads the wall clock three ways.
+func bad() time.Duration {
+	start := time.Now()          // want "wall-clock read time.Now"
+	time.Sleep(time.Millisecond) // want "wall-clock read time.Sleep"
+	return time.Since(start)     // want "wall-clock read time.Since"
+}
+
+func badSleep() {
+	time.Sleep(10 * time.Millisecond) // want "wall-clock read time.Sleep"
+}
+
+// badTimer builds host-clock timers.
+func badTimer() {
+	_ = time.NewTimer(time.Second) // want "wall-clock read time.NewTimer"
+	_ = time.After(time.Second)    // want "wall-clock read time.After"
+}
+
+// good uses time only for pure values: durations and fixed instants.
+func good() (time.Duration, time.Time) {
+	d := 3 * time.Second
+	t := time.Unix(1700000000, 0)
+	return d, t
+}

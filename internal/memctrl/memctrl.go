@@ -16,6 +16,12 @@ type LLC struct {
 	perfect bool
 	dramLat int64
 
+	// bypassed records lines served around the LLC because every candidate
+	// way was timer-pinned: they may live in a private cache without an LLC
+	// copy, the one sanctioned inclusion exception. Entries clear when the
+	// line is eventually installed by a fetch or a writeback.
+	bypassed map[uint64]bool
+
 	hits, misses, evictions, bypasses int64
 }
 
@@ -23,9 +29,10 @@ type LLC struct {
 // hits; dramLat is the penalty added on a miss otherwise.
 func New(geom config.CacheGeometry, perfect bool, dramLat int64) *LLC {
 	return &LLC{
-		arr:     cache.New(geom.SizeBytes, geom.LineBytes, geom.Ways),
-		perfect: perfect,
-		dramLat: dramLat,
+		arr:      cache.New(geom.SizeBytes, geom.LineBytes, geom.Ways),
+		perfect:  perfect,
+		dramLat:  dramLat,
+		bypassed: make(map[uint64]bool),
 	}
 }
 
@@ -59,6 +66,7 @@ func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) boo
 	if victim == nil {
 		// All ways hold timer-protected lines: serve around the LLC.
 		l.bypasses++
+		l.bypassed[lineAddr] = true
 		return l.dramLat, nil
 	}
 	if victim.Valid() {
@@ -67,6 +75,7 @@ func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) boo
 		l.arr.Invalidate(victim)
 	}
 	l.arr.Fill(victim, lineAddr, cache.Shared, now)
+	delete(l.bypassed, lineAddr)
 	return l.dramLat, backInv
 }
 
@@ -96,8 +105,14 @@ func (l *LLC) WriteBack(lineAddr uint64, now int64, pinned func(lineAddr uint64)
 		l.arr.Invalidate(victim)
 	}
 	l.arr.Fill(victim, lineAddr, cache.Modified, now)
+	delete(l.bypassed, lineAddr)
 	return backInv
 }
+
+// Bypassed reports whether the line was last served around the LLC and has
+// not been installed since — the one state in which a private copy may
+// legally exist without an LLC copy.
+func (l *LLC) Bypassed(lineAddr uint64) bool { return l.bypassed[lineAddr] }
 
 // Contains reports whether the LLC currently caches the line (always true in
 // perfect mode, matching an infinite cache).
