@@ -20,4 +20,10 @@ go test ./...
 echo "==> go test -race ./internal/..."
 go test -race ./internal/...
 
+echo "==> go test -race (parallel evaluation engine)"
+go test -race ./internal/parallel ./internal/opt ./internal/experiments
+
+echo "==> cohort-bench fig5a -j 8 smoke"
+go run ./cmd/cohort-bench -run fig5a -j 8 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 >/dev/null
+
 echo "==> all checks passed"

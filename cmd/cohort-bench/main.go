@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cohort-bench -run all
-//	cohort-bench -run fig5a,fig6a,fig7
+//	cohort-bench -run fig5a,fig6a,fig7 -j 8
 //	cohort-bench -run table2 -bench fft -scale 0.1
 //	cohort-bench -run all -md > results.md
 package main
@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,24 +30,40 @@ var known = []string{
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cohort-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiments and writes their tables to stdout.
+// Factored out of main so the golden-file tests drive the exact CLI path.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cohort-bench", flag.ContinueOnError)
 	var (
-		runList = flag.String("run", "all", "comma-separated experiments: "+strings.Join(known, ", ")+" or 'all'")
-		scale   = flag.Float64("scale", 0.05, "access-count scale factor")
-		cap     = flag.Int("cap", 4000, "cap on accesses per core after scaling (0 = none)")
-		seed    = flag.Uint64("seed", 42, "trace generator seed")
-		bench   = flag.String("bench", "fft", "benchmark for fig7/table2")
-		benches = flag.String("benches", "", "comma-separated benchmark subset for fig5/fig6/ablations (default: all)")
-		pop     = flag.Int("pop", 20, "GA population")
-		gens    = flag.Int("gens", 16, "GA generations")
-		md      = flag.Bool("md", false, "emit markdown tables")
+		runList   = fs.String("run", "all", "comma-separated experiments: "+strings.Join(known, ", ")+" or 'all'")
+		scale     = fs.Float64("scale", 0.05, "access-count scale factor")
+		cap       = fs.Int("cap", 4000, "cap on accesses per core after scaling (0 = none)")
+		seed      = fs.Uint64("seed", 42, "trace generator seed")
+		bench     = fs.String("bench", "fft", "benchmark for fig7/table2")
+		benches   = fs.String("benches", "", "comma-separated benchmark subset for fig5/fig6/ablations (default: all)")
+		pop       = fs.Int("pop", 20, "GA population")
+		gens      = fs.Int("gens", 16, "GA generations")
+		md        = fs.Bool("md", false, "emit markdown tables")
+		jobs      = fs.Int("j", 0, "evaluation workers (1 = serial, <1 = NumCPU); output is identical for every value")
+		memoStats = fs.Bool("memo-stats", false, "report memo-cache counters on stderr (counters are scheduling-dependent, never part of the tables)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	o := experiments.DefaultOptions()
 	o.Scale = *scale
 	o.MaxAccessesPerCore = *cap
 	o.Seed = *seed
 	o.GA.Pop, o.GA.Generations = *pop, *gens
+	o.Jobs = *jobs
+	o.GA.Workers = *jobs
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -67,7 +84,7 @@ func main() {
 				}
 			}
 			if !found {
-				fatal(fmt.Errorf("unknown experiment %q (known: %s)", k, strings.Join(known, ", ")))
+				return fmt.Errorf("unknown experiment %q (known: %s)", k, strings.Join(known, ", "))
 			}
 			sel[k] = true
 		}
@@ -75,9 +92,9 @@ func main() {
 
 	emit := func(t *stats.Table) {
 		if *md {
-			fmt.Println(t.Markdown())
+			fmt.Fprintln(stdout, t.Markdown())
 		} else {
-			fmt.Println(t.String())
+			fmt.Fprintln(stdout, t.String())
 		}
 	}
 
@@ -92,11 +109,11 @@ func main() {
 		}
 		res, err := experiments.Fig5(o, sub.scenario)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
-		fmt.Println(res.Summary())
-		fmt.Println()
+		fmt.Fprintln(stdout, res.Summary())
+		fmt.Fprintln(stdout)
 	}
 	for _, sub := range []struct{ key, scenario string }{
 		{"fig6a", "all-cr"}, {"fig6b", "2cr-2ncr"}, {"fig6c", "1cr-3ncr"},
@@ -106,98 +123,97 @@ func main() {
 		}
 		res, err := experiments.Fig6(o, sub.scenario)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
-		fmt.Println(res.Summary())
-		fmt.Println()
+		fmt.Fprintln(stdout, res.Summary())
+		fmt.Fprintln(stdout)
 	}
 	if sel["fig7"] {
 		res, err := experiments.Fig7(o, *bench, 1.5, 1.8)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, t := range res.Render() {
 			emit(t)
 		}
-		fmt.Println(res.Summary())
-		fmt.Println()
+		fmt.Fprintln(stdout, res.Summary())
+		fmt.Fprintln(stdout)
 	}
 	if sel["table2"] {
 		res, err := experiments.Table2(o, *bench)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
 	}
 	if sel["nonperfect"] {
 		res, err := experiments.NonPerfect(o)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
-		fmt.Println(res.Summary())
-		fmt.Println()
+		fmt.Fprintln(stdout, res.Summary())
+		fmt.Fprintln(stdout)
 	}
 	if sel["ablation-arbiter"] {
 		res, err := experiments.AblationArbiter(o)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
 	}
 	if sel["ablation-transfer"] {
 		res, err := experiments.AblationTransfer(o)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
 	}
 	if sel["ablation-timer"] {
 		res, err := experiments.AblationTimer(o, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
 	}
 	if sel["ablation-snoop"] {
 		res, err := experiments.AblationSnoop(o)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
 	}
 	if sel["ablation-l1ways"] {
 		res, err := experiments.AblationL1Ways(o, 100, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
 	}
 	if sel["ablation-nonblocking"] {
 		res, err := experiments.AblationNonBlocking(o)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
 	}
 	if sel["ablation-optimizer"] {
 		res, err := experiments.AblationOptimizer(o)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
 	}
 	if sel["scalability"] {
 		res, err := experiments.ExtensionScalability(o, *bench, 50, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(res.Render())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cohort-bench:", err)
-	os.Exit(1)
+	if *memoStats {
+		fmt.Fprintln(os.Stderr, "cohort-bench memo:", experiments.MemoStats())
+	}
+	return nil
 }

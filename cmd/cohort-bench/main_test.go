@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cohort/internal/experiments"
+)
+
+// update regenerates the golden files: go test ./cmd/cohort-bench -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// quickArgs keeps the golden runs at test sizing (two benchmarks, small GA).
+func quickArgs(extra ...string) []string {
+	args := []string{
+		"-scale", "0.01", "-cap", "800", "-benches", "fft,water",
+		"-pop", "8", "-gens", "6",
+	}
+	return append(args, extra...)
+}
+
+// TestGolden locks the rendered text tables at the byte level: a
+// parallelization regression that reorders rows or cells shows up as a
+// golden-file diff. Each experiment is rendered twice — serial (-j 1) and
+// parallel (-j 8) — and both must match the golden byte for byte.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"table1", []string{"-run", "table1"}},
+		{"fig5a", quickArgs("-run", "fig5a")},
+		{"fig6a", quickArgs("-run", "fig6a")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			experiments.ResetMemo()
+			var serial bytes.Buffer
+			if err := run(append(tc.args, "-j", "1"), &serial); err != nil {
+				t.Fatalf("run -j 1: %v", err)
+			}
+			experiments.ResetMemo()
+			var par bytes.Buffer
+			if err := run(append(tc.args, "-j", "8"), &par); err != nil {
+				t.Fatalf("run -j 8: %v", err)
+			}
+			if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+				t.Fatalf("-j 1 and -j 8 output differ:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial.Bytes(), par.Bytes())
+			}
+
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, serial.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(serial.Bytes(), want) {
+				t.Errorf("output differs from %s (re-run with -update if the change is intended):\n--- got ---\n%s\n--- want ---\n%s",
+					golden, serial.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestRunRejectsUnknownExperiment covers the CLI's selector validation.
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig9z"}, &out); err == nil {
+		t.Fatal("expected an error for an unknown experiment name")
+	}
+}

@@ -31,6 +31,7 @@ func main() {
 		pop   = flag.Int("pop", 32, "GA population size")
 		gens  = flag.Int("gens", 40, "GA generations")
 		gaSd  = flag.Uint64("ga-seed", 1, "GA random seed")
+		jobs  = flag.Int("j", 0, "evaluation workers (1 = serial, <1 = NumCPU); the result is identical for every value")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 	}
 	gc := cohort.DefaultGA(*gaSd)
 	gc.Pop, gc.Generations = *pop, *gens
+	gc.Workers = *jobs
 
 	res, err := cohort.Optimize(prob, gc)
 	if err != nil {
@@ -86,6 +88,9 @@ func main() {
 
 	fmt.Printf("workload %s: %d oracle evaluations, feasible %v\n",
 		tr.Name, res.Evaluations, res.Eval.Feasible())
+	if res.Engine.Jobs > 0 {
+		fmt.Printf("memo-cache: %s\n", res.Engine)
+	}
 	fmt.Printf("objective (avg worst-case cycles per request, summed over timed cores): %.2f\n",
 		res.Eval.Objective)
 	g := 0

@@ -5,6 +5,7 @@ import (
 
 	"cohort/internal/analysis"
 	"cohort/internal/config"
+	"cohort/internal/parallel"
 	"cohort/internal/stats"
 )
 
@@ -36,33 +37,39 @@ func AblationArbiter(o Options) (*ArbiterAblation, error) {
 		timers[i] = 50
 	}
 	res := &ArbiterAblation{Timers: timers}
-	for _, p := range profiles {
+	arbiters := []config.Arbiter{config.ArbiterRROF, config.ArbiterRR, config.ArbiterFCFS, config.ArbiterTDM}
+	// One cell per benchmark × arbiter, flattened profile-major so the
+	// reduced order matches the serial loop's.
+	rows, err := parallel.MapErr(o.jobs(), len(profiles)*len(arbiters), func(ci int) (ArbiterAblationRow, error) {
+		p, arb := profiles[ci/len(arbiters)], arbiters[ci%len(arbiters)]
 		tr := o.generate(p)
-		for _, arb := range []config.Arbiter{config.ArbiterRROF, config.ArbiterRR, config.ArbiterFCFS, config.ArbiterTDM} {
-			cfg, err := config.CoHoRT(o.NCores, 1, timers)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Arbiter = arb
-			run, err := runSystem(cfg, tr)
-			if err != nil {
-				return nil, fmt.Errorf("arbiter ablation %s/%s: %w", p.Name, arb, err)
-			}
-			var maxMiss int64
-			for i := range run.Cores {
-				if run.Cores[i].MaxMissLatency > maxMiss {
-					maxMiss = run.Cores[i].MaxMissLatency
-				}
-			}
-			res.Rows = append(res.Rows, ArbiterAblationRow{
-				Benchmark: p.Name,
-				Arbiter:   arb,
-				Cycles:    run.Cycles,
-				MaxMiss:   maxMiss,
-				BusUtil:   run.BusUtilization(),
-			})
+		cfg, err := config.CoHoRT(o.NCores, 1, timers)
+		if err != nil {
+			return ArbiterAblationRow{}, err
 		}
+		cfg.Arbiter = arb
+		run, err := runSystem(cfg, tr)
+		if err != nil {
+			return ArbiterAblationRow{}, fmt.Errorf("arbiter ablation %s/%s: %w", p.Name, arb, err)
+		}
+		var maxMiss int64
+		for i := range run.Cores {
+			if run.Cores[i].MaxMissLatency > maxMiss {
+				maxMiss = run.Cores[i].MaxMissLatency
+			}
+		}
+		return ArbiterAblationRow{
+			Benchmark: p.Name,
+			Arbiter:   arb,
+			Cycles:    run.Cycles,
+			MaxMiss:   maxMiss,
+			BusUtil:   run.BusUtilization(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -99,26 +106,30 @@ func AblationTransfer(o Options) (*TransferAblation, error) {
 		return nil, err
 	}
 	res := &TransferAblation{}
-	for _, p := range profiles {
+	transfers := []config.Transfer{config.TransferDirect, config.TransferViaMemory}
+	rows, err := parallel.MapErr(o.jobs(), len(profiles)*len(transfers), func(ci int) (TransferAblationRow, error) {
+		p, tp := profiles[ci/len(transfers)], transfers[ci%len(transfers)]
 		tr := o.generate(p)
-		for _, tp := range []config.Transfer{config.TransferDirect, config.TransferViaMemory} {
-			cfg := config.PaperDefaults(o.NCores, 1)
-			cfg.Transfer = tp
-			run, err := runSystem(cfg, tr)
-			if err != nil {
-				return nil, fmt.Errorf("transfer ablation %s/%s: %w", p.Name, tp, err)
-			}
-			var maxMiss int64
-			for i := range run.Cores {
-				if run.Cores[i].MaxMissLatency > maxMiss {
-					maxMiss = run.Cores[i].MaxMissLatency
-				}
-			}
-			res.Rows = append(res.Rows, TransferAblationRow{
-				Benchmark: p.Name, Transfer: tp, Cycles: run.Cycles, MaxMiss: maxMiss,
-			})
+		cfg := config.PaperDefaults(o.NCores, 1)
+		cfg.Transfer = tp
+		run, err := runSystem(cfg, tr)
+		if err != nil {
+			return TransferAblationRow{}, fmt.Errorf("transfer ablation %s/%s: %w", p.Name, tp, err)
 		}
+		var maxMiss int64
+		for i := range run.Cores {
+			if run.Cores[i].MaxMissLatency > maxMiss {
+				maxMiss = run.Cores[i].MaxMissLatency
+			}
+		}
+		return TransferAblationRow{
+			Benchmark: p.Name, Transfer: tp, Cycles: run.Cycles, MaxMiss: maxMiss,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -165,33 +176,36 @@ func AblationTimer(o Options, thetas []config.Timer) (*TimerSweep, error) {
 		return nil, err
 	}
 	res := &TimerSweep{}
-	for _, p := range profiles {
+	rows, err := parallel.MapErr(o.jobs(), len(profiles)*len(thetas), func(ci int) (TimerSweepRow, error) {
+		p, th := profiles[ci/len(thetas)], thetas[ci%len(thetas)]
 		tr := o.generate(p)
-		for _, th := range thetas {
-			timers := make([]config.Timer, o.NCores)
-			for i := range timers {
-				timers[i] = th
-			}
-			cfg, err := config.CoHoRT(o.NCores, 1, timers)
-			if err != nil {
-				return nil, err
-			}
-			bounds, err := analysis.Bounds(cfg, tr)
-			if err != nil {
-				return nil, err
-			}
-			run, err := runSystem(cfg, tr)
-			if err != nil {
-				return nil, fmt.Errorf("timer sweep %s/θ=%d: %w", p.Name, th, err)
-			}
-			row := TimerSweepRow{Benchmark: p.Name, Theta: th, Cycles: run.Cycles, WCL: bounds[0].WCL}
-			for i := range run.Cores {
-				row.Hits += run.Cores[i].Hits
-				row.AvgBound += float64(bounds[i].WCMLBound) / float64(tr.Lambda(i))
-			}
-			res.Rows = append(res.Rows, row)
+		timers := make([]config.Timer, o.NCores)
+		for i := range timers {
+			timers[i] = th
 		}
+		cfg, err := config.CoHoRT(o.NCores, 1, timers)
+		if err != nil {
+			return TimerSweepRow{}, err
+		}
+		bounds, err := analysis.Bounds(cfg, tr)
+		if err != nil {
+			return TimerSweepRow{}, err
+		}
+		run, err := runSystem(cfg, tr)
+		if err != nil {
+			return TimerSweepRow{}, fmt.Errorf("timer sweep %s/θ=%d: %w", p.Name, th, err)
+		}
+		row := TimerSweepRow{Benchmark: p.Name, Theta: th, Cycles: run.Cycles, WCL: bounds[0].WCL}
+		for i := range run.Cores {
+			row.Hits += run.Cores[i].Hits
+			row.AvgBound += float64(bounds[i].WCMLBound) / float64(tr.Lambda(i))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -231,23 +245,27 @@ func AblationSnoop(o Options) (*SnoopAblation, error) {
 		return nil, err
 	}
 	res := &SnoopAblation{}
-	for _, p := range profiles {
+	snoops := []config.Snoop{config.SnoopMSI, config.SnoopMESI}
+	rows, err := parallel.MapErr(o.jobs(), len(profiles)*len(snoops), func(ci int) (SnoopAblationRow, error) {
+		p, sp := profiles[ci/len(snoops)], snoops[ci%len(snoops)]
 		tr := o.generate(p)
-		for _, sp := range []config.Snoop{config.SnoopMSI, config.SnoopMESI} {
-			cfg := config.PaperDefaults(o.NCores, 1)
-			cfg.Snoop = sp
-			run, err := runSystem(cfg, tr)
-			if err != nil {
-				return nil, fmt.Errorf("snoop ablation %s/%s: %w", p.Name, sp, err)
-			}
-			row := SnoopAblationRow{Benchmark: p.Name, Snoop: sp, Cycles: run.Cycles}
-			for i := range run.Cores {
-				row.Upgrades += run.Cores[i].Upgrades
-				row.Hits += run.Cores[i].Hits
-			}
-			res.Rows = append(res.Rows, row)
+		cfg := config.PaperDefaults(o.NCores, 1)
+		cfg.Snoop = sp
+		run, err := runSystem(cfg, tr)
+		if err != nil {
+			return SnoopAblationRow{}, fmt.Errorf("snoop ablation %s/%s: %w", p.Name, sp, err)
 		}
+		row := SnoopAblationRow{Benchmark: p.Name, Snoop: sp, Cycles: run.Cycles}
+		for i := range run.Cores {
+			row.Upgrades += run.Cores[i].Upgrades
+			row.Hits += run.Cores[i].Hits
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -292,37 +310,40 @@ func AblationL1Ways(o Options, theta config.Timer, ways []int) (*L1WaysAblation,
 		return nil, err
 	}
 	res := &L1WaysAblation{Theta: theta}
-	for _, p := range profiles {
+	rows, err := parallel.MapErr(o.jobs(), len(profiles)*len(ways), func(ci int) (L1WaysRow, error) {
+		p, w := profiles[ci/len(ways)], ways[ci%len(ways)]
 		tr := o.generate(p)
-		for _, w := range ways {
-			timers := make([]config.Timer, o.NCores)
-			for i := range timers {
-				timers[i] = theta
-			}
-			cfg, err := config.CoHoRT(o.NCores, 1, timers)
-			if err != nil {
-				return nil, err
-			}
-			cfg.L1.Ways = w
-			if err := cfg.Validate(); err != nil {
-				return nil, fmt.Errorf("l1 ways ablation: %w", err)
-			}
-			bounds, err := analysis.Bounds(cfg, tr)
-			if err != nil {
-				return nil, err
-			}
-			run, err := runSystem(cfg, tr)
-			if err != nil {
-				return nil, fmt.Errorf("l1 ways ablation %s/%d: %w", p.Name, w, err)
-			}
-			row := L1WaysRow{Benchmark: p.Name, Ways: w, Cycles: run.Cycles}
-			for i := range run.Cores {
-				row.GuaranteedHits += bounds[i].MHit
-				row.MeasuredHits += run.Cores[i].Hits
-			}
-			res.Rows = append(res.Rows, row)
+		timers := make([]config.Timer, o.NCores)
+		for i := range timers {
+			timers[i] = theta
 		}
+		cfg, err := config.CoHoRT(o.NCores, 1, timers)
+		if err != nil {
+			return L1WaysRow{}, err
+		}
+		cfg.L1.Ways = w
+		if err := cfg.Validate(); err != nil {
+			return L1WaysRow{}, fmt.Errorf("l1 ways ablation: %w", err)
+		}
+		bounds, err := analysis.Bounds(cfg, tr)
+		if err != nil {
+			return L1WaysRow{}, err
+		}
+		run, err := runSystem(cfg, tr)
+		if err != nil {
+			return L1WaysRow{}, fmt.Errorf("l1 ways ablation %s/%d: %w", p.Name, w, err)
+		}
+		row := L1WaysRow{Benchmark: p.Name, Ways: w, Cycles: run.Cycles}
+		for i := range run.Cores {
+			row.GuaranteedHits += bounds[i].MHit
+			row.MeasuredHits += run.Cores[i].Hits
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -359,25 +380,29 @@ func AblationNonBlocking(o Options) (*NonBlockingAblation, error) {
 		return nil, err
 	}
 	res := &NonBlockingAblation{}
-	for _, p := range profiles {
+	modes := []bool{false, true}
+	rows, err := parallel.MapErr(o.jobs(), len(profiles)*len(modes), func(ci int) (NonBlockingRow, error) {
+		p, blocking := profiles[ci/len(modes)], modes[ci%len(modes)]
 		tr := o.generate(p)
-		for _, blocking := range []bool{false, true} {
-			timers := make([]config.Timer, o.NCores)
-			for i := range timers {
-				timers[i] = 100
-			}
-			cfg, err := config.CoHoRT(o.NCores, 1, timers)
-			if err != nil {
-				return nil, err
-			}
-			cfg.BlockingCaches = blocking
-			run, err := runSystem(cfg, tr)
-			if err != nil {
-				return nil, fmt.Errorf("nonblocking ablation %s/%v: %w", p.Name, blocking, err)
-			}
-			res.Rows = append(res.Rows, NonBlockingRow{Benchmark: p.Name, Blocking: blocking, Cycles: run.Cycles})
+		timers := make([]config.Timer, o.NCores)
+		for i := range timers {
+			timers[i] = 100
 		}
+		cfg, err := config.CoHoRT(o.NCores, 1, timers)
+		if err != nil {
+			return NonBlockingRow{}, err
+		}
+		cfg.BlockingCaches = blocking
+		run, err := runSystem(cfg, tr)
+		if err != nil {
+			return NonBlockingRow{}, fmt.Errorf("nonblocking ablation %s/%v: %w", p.Name, blocking, err)
+		}
+		return NonBlockingRow{Benchmark: p.Name, Blocking: blocking, Cycles: run.Cycles}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each runner must render byte-identical output under the forced-serial path
+// (Jobs=1) and an oversubscribed worker pool (Jobs=8). The memo is reset
+// between runs so both compute from a cold cache; CI runs this package under
+// -race so the worker interleavings themselves are exercised.
+
+// renderAll drives one runner configuration to its user-visible string form.
+type runnerCase struct {
+	name string
+	run  func(o Options) (string, error)
+}
+
+func runnerCases() []runnerCase {
+	return []runnerCase{
+		{"fig5", func(o Options) (string, error) {
+			r, err := Fig5(o, "all-cr")
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String() + "\n" + r.Summary(), nil
+		}},
+		{"fig6", func(o Options) (string, error) {
+			r, err := Fig6(o, "2cr-2ncr")
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String() + "\n" + r.Summary(), nil
+		}},
+		{"fig7", func(o Options) (string, error) {
+			r, err := Fig7(o, "fft", 1.5, 1.8)
+			if err != nil {
+				return "", err
+			}
+			var sb strings.Builder
+			for _, t := range r.Render() {
+				sb.WriteString(t.String())
+			}
+			sb.WriteString(r.Summary())
+			return sb.String(), nil
+		}},
+		{"table2", func(o Options) (string, error) {
+			r, err := Table2(o, "fft")
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String(), nil
+		}},
+		{"nonperfect", func(o Options) (string, error) {
+			r, err := NonPerfect(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String() + "\n" + r.Summary(), nil
+		}},
+		{"ablation-arbiter", func(o Options) (string, error) {
+			r, err := AblationArbiter(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String(), nil
+		}},
+		{"ablation-transfer", func(o Options) (string, error) {
+			r, err := AblationTransfer(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String(), nil
+		}},
+		{"ablation-timer", func(o Options) (string, error) {
+			r, err := AblationTimer(o, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String(), nil
+		}},
+		{"ablation-snoop", func(o Options) (string, error) {
+			r, err := AblationSnoop(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String(), nil
+		}},
+		{"ablation-l1ways", func(o Options) (string, error) {
+			r, err := AblationL1Ways(o, 100, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String(), nil
+		}},
+		{"ablation-nonblocking", func(o Options) (string, error) {
+			r, err := AblationNonBlocking(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String(), nil
+		}},
+		{"ablation-optimizer", func(o Options) (string, error) {
+			r, err := AblationOptimizer(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String(), nil
+		}},
+		{"scalability", func(o Options) (string, error) {
+			r, err := ExtensionScalability(o, "fft", 50, []int{2, 4})
+			if err != nil {
+				return "", err
+			}
+			return r.Render().String(), nil
+		}},
+	}
+}
+
+func equivalenceOptions(seed uint64) Options {
+	o := QuickOptions()
+	o.Seed = seed
+	o.GA.Seed = seed
+	return o
+}
+
+// TestRunnersSerialParallelEquivalence asserts every experiment runner
+// renders byte-identically at -j 1 and -j 8, table-driven over seeds.
+func TestRunnersSerialParallelEquivalence(t *testing.T) {
+	seeds := []uint64{1, 42, 7777}
+	for _, rc := range runnerCases() {
+		rc := rc
+		t.Run(rc.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				o := equivalenceOptions(seed)
+
+				o.Jobs, o.GA.Workers = 1, 1
+				ResetMemo()
+				serial, err := rc.run(o)
+				if err != nil {
+					t.Fatalf("seed %d -j 1: %v", seed, err)
+				}
+
+				o.Jobs, o.GA.Workers = 8, 8
+				ResetMemo()
+				par, err := rc.run(o)
+				if err != nil {
+					t.Fatalf("seed %d -j 8: %v", seed, err)
+				}
+
+				if serial != par {
+					t.Fatalf("seed %d: -j 1 and -j 8 output differ\n--- j1 ---\n%s\n--- j8 ---\n%s", seed, serial, par)
+				}
+			}
+		})
+	}
+}
+
+// TestMemoServesRepeatedCells checks the process-wide memo actually fires:
+// rendering the same figure twice without a reset must serve the second pass
+// from cache, and the result must stay identical to a cold run.
+func TestMemoServesRepeatedCells(t *testing.T) {
+	o := equivalenceOptions(42)
+	o.Jobs, o.GA.Workers = 1, 1
+	ResetMemo()
+	first, err := Fig6(o, "all-cr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := MemoStats()
+	second, err := Fig6(o, "all-cr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := MemoStats()
+	if first.Render().String() != second.Render().String() {
+		t.Fatal("memoized rerun rendered differently")
+	}
+	if warm.CacheHits <= cold.CacheHits {
+		t.Fatalf("second run should hit the memo: cold %+v, warm %+v", cold, warm)
+	}
+	if warm.CacheMisses != cold.CacheMisses {
+		t.Fatalf("second run recomputed cells: cold %+v, warm %+v", cold, warm)
+	}
+}

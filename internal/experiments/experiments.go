@@ -11,10 +11,8 @@ import (
 	"fmt"
 	"math"
 
-	"cohort/internal/config"
-	"cohort/internal/core"
 	"cohort/internal/opt"
-	"cohort/internal/stats"
+	"cohort/internal/parallel"
 	"cohort/internal/trace"
 )
 
@@ -36,7 +34,15 @@ type Options struct {
 	GA opt.GAConfig
 	// NCores is the platform width (the paper evaluates 4).
 	NCores int
+	// Jobs caps the worker pool that evaluates independent experiment cells
+	// (one benchmark × one system configuration): 1 forces the legacy serial
+	// path, anything below 1 selects runtime.NumCPU(). Every runner's result
+	// is byte-identical for every value.
+	Jobs int
 }
+
+// jobs resolves the effective cell worker count.
+func (o *Options) jobs() int { return parallel.DefaultWorkers(o.Jobs) }
 
 // DefaultOptions returns the settings used by cmd/cohort-bench and the
 // benchmarks.
@@ -135,35 +141,6 @@ func ScenarioByName(n int, name string) (Scenario, error) {
 		}
 	}
 	return Scenario{}, fmt.Errorf("experiments: unknown scenario %q", name)
-}
-
-// optimizeTimers runs the GA for a scenario: critical cores get optimized
-// timers, non-critical cores run MSI.
-func optimizeTimers(o *Options, tr *trace.Trace, critical []bool) (*opt.Result, error) {
-	cfg := config.PaperDefaults(o.NCores, 1)
-	prob := &opt.Problem{
-		Lat:     cfg.Lat,
-		L1:      cfg.L1,
-		Streams: tr.Streams,
-		Timed:   critical,
-	}
-	return opt.Optimize(prob, o.GA)
-}
-
-// runSystem simulates one configuration and returns the measurements.
-func runSystem(cfg *config.System, tr *trace.Trace) (*stats.Run, error) {
-	sys, err := core.New(cfg, tr)
-	if err != nil {
-		return nil, err
-	}
-	run, err := sys.Run()
-	if err != nil {
-		return nil, err
-	}
-	if err := sys.CheckCoherence(); err != nil {
-		return nil, fmt.Errorf("experiments: coherence violated: %w", err)
-	}
-	return run, nil
 }
 
 // geomean returns the geometric mean of positive values (0 when empty).

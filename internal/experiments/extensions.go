@@ -6,6 +6,7 @@ import (
 	"cohort/internal/analysis"
 	"cohort/internal/config"
 	"cohort/internal/opt"
+	"cohort/internal/parallel"
 	"cohort/internal/stats"
 )
 
@@ -34,7 +35,8 @@ func AblationOptimizer(o Options) (*OptimizerAblation, error) {
 	}
 	res := &OptimizerAblation{}
 	base := config.PaperDefaults(o.NCores, 1)
-	for _, p := range profiles {
+	rows, err := parallel.MapErr(o.jobs(), len(profiles), func(pi int) (OptimizerAblationRow, error) {
+		p := profiles[pi]
 		tr := o.generate(p)
 		timed := make([]bool, o.NCores)
 		for i := range timed {
@@ -43,18 +45,24 @@ func AblationOptimizer(o Options) (*OptimizerAblation, error) {
 		prob := &opt.Problem{Lat: base.Lat, L1: base.L1, Streams: tr.Streams, Timed: timed}
 		ga, err := opt.Optimize(prob, o.GA)
 		if err != nil {
-			return nil, fmt.Errorf("optimizer ablation %s ga: %w", p.Name, err)
+			return OptimizerAblationRow{}, fmt.Errorf("optimizer ablation %s ga: %w", p.Name, err)
 		}
-		hc, err := opt.HillClimb(prob, opt.DefaultHC(o.GA.Seed))
+		hcConf := opt.DefaultHC(o.GA.Seed)
+		hcConf.Workers = o.GA.Workers
+		hc, err := opt.HillClimb(prob, hcConf)
 		if err != nil {
-			return nil, fmt.Errorf("optimizer ablation %s hc: %w", p.Name, err)
+			return OptimizerAblationRow{}, fmt.Errorf("optimizer ablation %s hc: %w", p.Name, err)
 		}
-		res.Rows = append(res.Rows, OptimizerAblationRow{
+		return OptimizerAblationRow{
 			Benchmark:   p.Name,
 			GAObjective: ga.Eval.Objective, HCObjective: hc.Eval.Objective,
 			GAEvals: ga.Evaluations, HCEvals: hc.Evaluations,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -104,9 +112,10 @@ func ExtensionScalability(o Options, benchmark string, theta config.Timer, coreC
 		return nil, err
 	}
 	res := &Scalability{Benchmark: p.Name, Theta: theta}
-	for _, n := range coreCounts {
+	rows, err := parallel.MapErr(o.jobs(), len(coreCounts), func(ci int) (ScalabilityRow, error) {
+		n := coreCounts[ci]
 		if n < 1 {
-			return nil, fmt.Errorf("experiments: core count %d", n)
+			return ScalabilityRow{}, fmt.Errorf("experiments: core count %d", n)
 		}
 		tr := p.Generate(n, 64, o.Seed)
 		timers := make([]config.Timer, n)
@@ -115,25 +124,29 @@ func ExtensionScalability(o Options, benchmark string, theta config.Timer, coreC
 		}
 		cfg, err := config.CoHoRT(n, 1, timers)
 		if err != nil {
-			return nil, err
+			return ScalabilityRow{}, err
 		}
 		run, err := runSystem(cfg, tr)
 		if err != nil {
-			return nil, fmt.Errorf("scalability n=%d: %w", n, err)
+			return ScalabilityRow{}, fmt.Errorf("scalability n=%d: %w", n, err)
 		}
 		var lat, acc int64
 		for i := range run.Cores {
 			lat += run.Cores[i].TotalLatency
 			acc += run.Cores[i].Accesses
 		}
-		res.Rows = append(res.Rows, ScalabilityRow{
+		return ScalabilityRow{
 			NCores:     n,
 			WCL:        analysis.WCLCoHoRT(cfg.Lat, timers, 0),
 			Cycles:     run.Cycles,
 			BusUtil:    run.BusUtilization(),
 			AvgLatency: float64(lat) / float64(acc),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

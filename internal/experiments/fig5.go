@@ -5,6 +5,7 @@ import (
 
 	"cohort/internal/analysis"
 	"cohort/internal/config"
+	"cohort/internal/parallel"
 	"cohort/internal/stats"
 	"cohort/internal/trace"
 )
@@ -52,38 +53,46 @@ func Fig5(o Options, scenarioName string) (*Fig5Result, error) {
 		return nil, err
 	}
 	res := &Fig5Result{Scenario: sc}
-	var pccRatios, pendRatios []float64
-	for _, p := range profiles {
+	// One cell per benchmark; cells are independent, so they fan out across
+	// the worker pool and are reduced in profile order below.
+	rows, err := parallel.MapErr(o.jobs(), len(profiles), func(pi int) (Fig5Row, error) {
+		p := profiles[pi]
 		tr := o.generate(p)
 		row := Fig5Row{Benchmark: p.Name}
 
 		// CoHoRT: optimized timers on critical cores, MSI elsewhere.
 		ga, err := optimizeTimers(&o, tr, sc.Critical)
 		if err != nil {
-			return nil, fmt.Errorf("fig5 %s: %w", p.Name, err)
+			return row, fmt.Errorf("fig5 %s: %w", p.Name, err)
 		}
 		row.Timers = ga.Timers
 		cohortCfg, err := config.CoHoRT(o.NCores, 1, ga.Timers)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		row.CoHoRT, err = measureWCML(cohortCfg, &o, tr)
 		if err != nil {
-			return nil, fmt.Errorf("fig5 %s cohort: %w", p.Name, err)
+			return row, fmt.Errorf("fig5 %s cohort: %w", p.Name, err)
 		}
 
 		pccCfg := config.PCC(o.NCores)
 		row.PCC, err = measureWCML(pccCfg, &o, tr)
 		if err != nil {
-			return nil, fmt.Errorf("fig5 %s pcc: %w", p.Name, err)
+			return row, fmt.Errorf("fig5 %s pcc: %w", p.Name, err)
 		}
 
 		pendCfg := config.PENDULUM(sc.Critical)
 		row.Pendulum, err = measureWCML(pendCfg, &o, tr)
 		if err != nil {
-			return nil, fmt.Errorf("fig5 %s pendulum: %w", p.Name, err)
+			return row, fmt.Errorf("fig5 %s pendulum: %w", p.Name, err)
 		}
-
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pccRatios, pendRatios []float64
+	for _, row := range rows {
 		for i, cr := range sc.Critical {
 			if !cr || row.CoHoRT.Bound[i] <= 0 {
 				continue

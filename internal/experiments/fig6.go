@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cohort/internal/config"
+	"cohort/internal/parallel"
 	"cohort/internal/stats"
 )
 
@@ -39,40 +40,47 @@ func Fig6(o Options, scenarioName string) (*Fig6Result, error) {
 		return nil, err
 	}
 	res := &Fig6Result{Scenario: sc}
-	var ch, pc, pd []float64
-	for _, p := range profiles {
+	rows, err := parallel.MapErr(o.jobs(), len(profiles), func(pi int) (Fig6Row, error) {
+		p := profiles[pi]
 		tr := o.generate(p)
 		row := Fig6Row{Benchmark: p.Name}
 
 		base, err := runSystem(config.MSIFCFS(o.NCores), tr)
 		if err != nil {
-			return nil, fmt.Errorf("fig6 %s msi: %w", p.Name, err)
+			return row, fmt.Errorf("fig6 %s msi: %w", p.Name, err)
 		}
 		row.BaselineCycles = base.Cycles
 
 		ga, err := optimizeTimers(&o, tr, sc.Critical)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		cohortCfg, err := config.CoHoRT(o.NCores, 1, ga.Timers)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		cohort, err := runSystem(cohortCfg, tr)
 		if err != nil {
-			return nil, fmt.Errorf("fig6 %s cohort: %w", p.Name, err)
+			return row, fmt.Errorf("fig6 %s cohort: %w", p.Name, err)
 		}
 		pcc, err := runSystem(config.PCC(o.NCores), tr)
 		if err != nil {
-			return nil, fmt.Errorf("fig6 %s pcc: %w", p.Name, err)
+			return row, fmt.Errorf("fig6 %s pcc: %w", p.Name, err)
 		}
 		pend, err := runSystem(config.PENDULUM(sc.Critical), tr)
 		if err != nil {
-			return nil, fmt.Errorf("fig6 %s pendulum: %w", p.Name, err)
+			return row, fmt.Errorf("fig6 %s pendulum: %w", p.Name, err)
 		}
 		row.CoHoRT = float64(cohort.Cycles) / float64(base.Cycles)
 		row.PCC = float64(pcc.Cycles) / float64(base.Cycles)
 		row.Pendulum = float64(pend.Cycles) / float64(base.Cycles)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ch, pc, pd []float64
+	for _, row := range rows {
 		ch = append(ch, row.CoHoRT)
 		pc = append(pc, row.PCC)
 		pd = append(pd, row.Pendulum)

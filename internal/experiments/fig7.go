@@ -6,6 +6,7 @@ import (
 	"cohort/internal/analysis"
 	"cohort/internal/config"
 	"cohort/internal/core"
+	"cohort/internal/parallel"
 	"cohort/internal/stats"
 )
 
@@ -81,15 +82,16 @@ func Fig7(o Options, benchmark string, stage2Factor, stage3Factor float64) (*Fig
 	res := &Fig7Result{Benchmark: p.Name, Timers: PaperTable2()}
 	levels := len(res.Timers)
 
-	// c0's analytical bound at each mode (Eq. 1 + Eq. 2 with that mode's Θ).
+	// c0's analytical bound at each mode (Eq. 1 + Eq. 2 with that mode's Θ);
+	// the per-mode analyses are independent, so they fan out as cells.
 	lat := config.PaperDefaults(o.NCores, levels).Lat
 	l1 := config.PaperDefaults(o.NCores, levels).L1
-	for m := 0; m < levels; m++ {
+	res.BoundPerMode = parallel.Map(o.jobs(), levels, func(m int) int64 {
 		timers := res.Timers[m]
 		wcl := analysis.WCLCoHoRT(lat, timers, 0)
 		mh, mm := analysis.IsolationHits(tr.Streams[0], l1, lat, timers[0])
-		res.BoundPerMode = append(res.BoundPerMode, analysis.WCML(mh, mm, lat.Hit, wcl))
-	}
+		return analysis.WCML(mh, mm, lat.Hit, wcl)
+	})
 
 	// Stage requirements: stage 1 is satisfiable at mode 1 with a little
 	// slack, then tightens by the given factors. Each later requirement is

@@ -5,6 +5,7 @@ import (
 
 	"cohort/internal/analysis"
 	"cohort/internal/config"
+	"cohort/internal/parallel"
 	"cohort/internal/stats"
 )
 
@@ -43,8 +44,8 @@ func NonPerfect(o Options) (*NonPerfectResult, error) {
 		return nil, err
 	}
 	res := &NonPerfectResult{}
-	var ch, pc, pd, br []float64
-	for _, p := range profiles {
+	rows, err := parallel.MapErr(o.jobs(), len(profiles), func(pi int) (NonPerfectRow, error) {
+		p := profiles[pi]
 		tr := o.generate(p)
 		row := NonPerfectRow{Benchmark: p.Name, ExpUnderBound: true}
 
@@ -52,43 +53,43 @@ func NonPerfect(o Options) (*NonPerfectResult, error) {
 		baseCfg.PerfectLLC = false
 		base, err := runSystem(baseCfg, tr)
 		if err != nil {
-			return nil, fmt.Errorf("nonperfect %s msi: %w", p.Name, err)
+			return row, fmt.Errorf("nonperfect %s msi: %w", p.Name, err)
 		}
 
 		ga, err := optimizeTimers(&o, tr, sc.Critical)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		cohortCfg, err := config.CoHoRT(o.NCores, 1, ga.Timers)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		cohortCfg.PerfectLLC = false
 		cohortBounds, err := analysis.Bounds(cohortCfg, tr)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		cohort, err := runSystem(cohortCfg, tr)
 		if err != nil {
-			return nil, fmt.Errorf("nonperfect %s cohort: %w", p.Name, err)
+			return row, fmt.Errorf("nonperfect %s cohort: %w", p.Name, err)
 		}
 
 		pccCfg := config.PCC(o.NCores)
 		pccCfg.PerfectLLC = false
 		pccBounds, err := analysis.Bounds(pccCfg, tr)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		pcc, err := runSystem(pccCfg, tr)
 		if err != nil {
-			return nil, fmt.Errorf("nonperfect %s pcc: %w", p.Name, err)
+			return row, fmt.Errorf("nonperfect %s pcc: %w", p.Name, err)
 		}
 
 		pendCfg := config.PENDULUM(sc.Critical)
 		pendCfg.PerfectLLC = false
 		pend, err := runSystem(pendCfg, tr)
 		if err != nil {
-			return nil, fmt.Errorf("nonperfect %s pendulum: %w", p.Name, err)
+			return row, fmt.Errorf("nonperfect %s pendulum: %w", p.Name, err)
 		}
 
 		row.CoHoRT = float64(cohort.Cycles) / float64(base.Cycles)
@@ -104,7 +105,13 @@ func NonPerfect(o Options) (*NonPerfectResult, error) {
 			ratios = append(ratios, float64(pccBounds[i].WCMLBound)/float64(cohortBounds[i].WCMLBound))
 		}
 		row.CoHoRTBoundRatio = geomean(ratios)
-
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ch, pc, pd, br []float64
+	for _, row := range rows {
 		ch = append(ch, row.CoHoRT)
 		pc = append(pc, row.PCC)
 		pd = append(pd, row.Pendulum)

@@ -1,0 +1,55 @@
+package opt
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cohort/internal/config"
+)
+
+// BenchmarkOptimize measures the GA on the default problem shape from the
+// acceptance criterion (population 20 × 16 generations) at several worker
+// counts. On a multi-core machine -j 4 should come in at ≥2× over -j 1; on a
+// single-CPU host the worker pool degrades to ~1× with bounded overhead. The
+// results themselves are asserted byte-identical across worker counts, so
+// the benchmark doubles as an equivalence check at full problem size.
+//
+//	go test -bench Optimize -benchtime 3x ./internal/opt
+func BenchmarkOptimize(b *testing.B) {
+	p := problemFor("fft", 0.01, []bool{true, true, true, true})
+	var baseline *Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			gc := DefaultGA(42)
+			gc.Pop, gc.Generations = 20, 16
+			gc.Workers = workers
+			var last *Result
+			for i := 0; i < b.N; i++ {
+				res, err := Optimize(p, gc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			if baseline == nil {
+				baseline = last
+			} else if !reflect.DeepEqual(baseline, last) {
+				b.Fatalf("j=%d result differs from j=1 baseline", workers)
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateCompiled isolates the hoisted single-vector oracle (the
+// satellite fix: the timer-independent WCL terms are computed once per
+// vector); contrast with BenchmarkEvaluate, which pays compile() per call.
+func BenchmarkEvaluateCompiled(b *testing.B) {
+	p := problemFor("fft", 0.01, []bool{true, true, true, true})
+	c := p.compile()
+	tv := p.Timers([]config.Timer{50, 500, 1139, 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.evaluate(tv)
+	}
+}

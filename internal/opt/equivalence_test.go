@@ -1,0 +1,135 @@
+package opt
+
+import (
+	"reflect"
+	"testing"
+
+	"cohort/internal/analysis"
+	"cohort/internal/config"
+)
+
+// The deterministic-parallelism contract: Optimize and HillClimb return a
+// byte-identical Result for every Workers value. The tests compare the full
+// Result structs (timers, evaluations, histories, engine counters) between
+// the forced-serial path (Workers=1) and an oversubscribed pool (Workers=8),
+// table-driven over seeds. CI runs this package under -race, so scheduling
+// interleavings are exercised, not just the final values.
+
+var equivalenceSeeds = []uint64{1, 42, 7777}
+
+func TestOptimizeSerialParallelEquivalence(t *testing.T) {
+	for _, cfg := range []struct {
+		name  string
+		timed []bool
+	}{
+		{"all-timed", []bool{true, true, true, true}},
+		{"half-timed", []bool{true, true, false, false}},
+	} {
+		p := problemFor("fft", 0.01, cfg.timed)
+		for _, seed := range equivalenceSeeds {
+			gc := DefaultGA(seed)
+			gc.Pop, gc.Generations = 10, 6
+
+			gc.Workers = 1
+			serial, err := Optimize(p, gc)
+			if err != nil {
+				t.Fatalf("%s seed %d serial: %v", cfg.name, seed, err)
+			}
+			gc.Workers = 8
+			par, err := Optimize(p, gc)
+			if err != nil {
+				t.Fatalf("%s seed %d parallel: %v", cfg.name, seed, err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("%s seed %d: -j 1 and -j 8 GA results differ\nserial: %+v\nparallel: %+v",
+					cfg.name, seed, serial, par)
+			}
+		}
+	}
+}
+
+func TestHillClimbSerialParallelEquivalence(t *testing.T) {
+	p := problemFor("water", 0.01, []bool{true, true, true, false})
+	for _, seed := range equivalenceSeeds {
+		hc := DefaultHC(seed)
+		hc.Restarts, hc.MaxSteps = 3, 20
+
+		hc.Workers = 1
+		serial, err := HillClimb(p, hc)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		hc.Workers = 8
+		par, err := HillClimb(p, hc)
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("seed %d: -j 1 and -j 8 hill-climb results differ\nserial: %+v\nparallel: %+v",
+				seed, serial, par)
+		}
+	}
+}
+
+// TestOptimizeMemoCountersDeterministic pins the engine counters themselves:
+// the coordinator probes the cache serially, so hits/misses must not depend
+// on the worker count or the run.
+func TestOptimizeMemoCountersDeterministic(t *testing.T) {
+	p := problemFor("fft", 0.01, []bool{true, true, true, true})
+	gc := DefaultGA(42)
+	gc.Pop, gc.Generations = 10, 6
+	var engines []struct {
+		jobs, hits, misses int64
+		evals              int
+	}
+	for _, w := range []int{1, 4, 8} {
+		gc.Workers = w
+		res, err := Optimize(p, gc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, struct {
+			jobs, hits, misses int64
+			evals              int
+		}{res.Engine.Jobs, res.Engine.CacheHits, res.Engine.CacheMisses, res.Evaluations})
+	}
+	for i := 1; i < len(engines); i++ {
+		if engines[i] != engines[0] {
+			t.Fatalf("engine counters vary with worker count: %+v vs %+v", engines[0], engines[i])
+		}
+	}
+	if engines[0].jobs == 0 || engines[0].evals == 0 {
+		t.Fatalf("counters not populated: %+v", engines[0])
+	}
+	// Pop×(Generations+1) genomes were requested; dedup must make the
+	// computed count strictly smaller once elites repeat across generations.
+	if engines[0].evals > 10*7 {
+		t.Fatalf("computed %d evaluations for at most %d genomes", engines[0].evals, 10*7)
+	}
+	if engines[0].hits == 0 {
+		t.Fatalf("memo-cache never hit across %d requests — elites alone must repeat", engines[0].jobs)
+	}
+}
+
+// TestEvaluateHoistWCL cross-checks the hoisted O(n) WCL computation against
+// analysis.WCLCoHoRT per core on a spread of timer vectors, including
+// MSI-only cores (the satellite fix: the invariant part is computed once per
+// vector, not once per core).
+func TestEvaluateHoistWCL(t *testing.T) {
+	p := problemFor("lu", 0.01, []bool{true, false, true, false})
+	c := p.compile()
+	for _, genes := range [][]config.Timer{
+		{1, 1},
+		{50, 500},
+		{1139, 1},
+	} {
+		tv := p.Timers(genes)
+		ev := c.evaluate(tv)
+		for i := range tv {
+			want := analysis.WCLCoHoRT(p.Lat, tv, i)
+			if ev.PerCore[i].WCL != want {
+				t.Fatalf("genes %v core %d: hoisted WCL %d, analysis %d", genes, i, ev.PerCore[i].WCL, want)
+			}
+		}
+	}
+}

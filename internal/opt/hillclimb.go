@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"cohort/internal/analysis"
 	"cohort/internal/config"
 	"cohort/internal/trace"
 )
@@ -17,6 +16,10 @@ type HCConfig struct {
 	MaxSteps int
 	// Seed makes runs deterministic.
 	Seed uint64
+	// Workers caps the evaluation worker pool: 1 forces the serial path,
+	// anything below 1 selects runtime.NumCPU(). The Result is byte-identical
+	// for every value.
+	Workers int
 }
 
 // DefaultHC returns the parameters used by the optimizer ablation.
@@ -24,13 +27,20 @@ func DefaultHC(seed uint64) HCConfig {
 	return HCConfig{Restarts: 6, MaxSteps: 80, Seed: seed}
 }
 
-// HillClimb is an alternative optimization engine: random-restart
-// coordinate descent with multiplicative steps over the same Θ space,
+// HillClimb is an alternative optimization engine: random-restart steepest-
+// descent coordinate search with multiplicative steps over the same Θ space,
 // objective and constraint handling as the GA. The paper notes the engine
 // is pluggable ("the optimization algorithm (GA in our case)", §V);
 // providing a second engine validates that the framework — the
 // analysis-oracle loop of Fig. 2a — is algorithm-agnostic, and the
 // optimizer ablation quantifies the difference.
+//
+// Each step breeds the full gene × factor neighborhood of the current point,
+// evaluates it as one parallel batch, and moves to the best improving
+// neighbor (ties broken by lowest neighbor index). Steepest descent makes
+// the step a pure function of the current point — unlike first-improvement
+// descent, whose trajectory depends on evaluation order — so the Result is
+// byte-identical for every HCConfig.Workers value.
 func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -47,14 +57,7 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 		res.Evaluations = 1
 		return res, nil
 	}
-	res.ThetaIS = make([]config.Timer, 0, nGenes)
-	for i, timed := range p.Timed {
-		if !timed {
-			continue
-		}
-		thIS, _ := analysis.SaturationTimer(p.Streams[i], p.L1, p.Lat)
-		res.ThetaIS = append(res.ThetaIS, thIS)
-	}
+	res.ThetaIS = thetaIS(p, hc.Workers)
 
 	rng := trace.NewRNG(hc.Seed ^ 0x6863) // "hc"
 	clamp := func(g int, v config.Timer) config.Timer {
@@ -66,9 +69,9 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 		}
 		return v
 	}
-	eval := func(genes []config.Timer) (Evaluation, float64) {
-		ev := p.Evaluate(p.Timers(genes))
-		res.Evaluations++
+	oracle := newEvaluator(p, hc.Workers)
+	evalOne := func(genes []config.Timer) (Evaluation, float64) {
+		ev := oracle.batch([][]config.Timer{genes})[0]
 		return ev, fitness(&ev)
 	}
 
@@ -90,27 +93,37 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 				genes[g] = clamp(g, config.Timer(math.Exp(u*math.Log(float64(res.ThetaIS[g])))))
 			}
 		}
-		cur, curFit := eval(genes)
+		cur, curFit := evalOne(genes)
 		for step := 0; step < hc.MaxSteps; step++ {
-			improved := false
+			// The whole gene × factor neighborhood of the current point, as
+			// one batch.
+			neighbors := make([][]config.Timer, 0, nGenes*len(factors))
 			for g := 0; g < nGenes; g++ {
 				for _, f := range factors {
-					cand := append([]config.Timer(nil), genes...)
-					nv := clamp(g, config.Timer(float64(cand[g])*f))
-					if nv == cand[g] {
+					nv := clamp(g, config.Timer(float64(genes[g])*f))
+					if nv == genes[g] {
 						continue
 					}
+					cand := append([]config.Timer(nil), genes...)
 					cand[g] = nv
-					ev, fit := eval(cand)
-					if fit < curFit {
-						genes, cur, curFit = cand, ev, fit
-						improved = true
-					}
+					neighbors = append(neighbors, cand)
 				}
 			}
-			if !improved {
+			if len(neighbors) == 0 {
 				break
 			}
+			evs := oracle.batch(neighbors)
+			bestN := -1
+			bestNFit := curFit
+			for i := range evs {
+				if fit := fitness(&evs[i]); fit < bestNFit {
+					bestN, bestNFit = i, fit
+				}
+			}
+			if bestN == -1 {
+				break
+			}
+			genes, cur, curFit = neighbors[bestN], evs[bestN], bestNFit
 		}
 		res.BestHistory = append(res.BestHistory, curFit)
 		if curFit < bestFit {
@@ -119,5 +132,7 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 	}
 	res.Timers = p.Timers(bestGenes)
 	res.Eval = bestEval
+	res.Evaluations = oracle.computed
+	res.Engine = oracle.cache.Stats()
 	return res, nil
 }

@@ -7,6 +7,13 @@
 // The paper used Matlab's GA with default parameters; this is a
 // from-scratch, deterministic, stdlib-only equivalent with tournament
 // selection, uniform crossover, geometric mutation, and elitism.
+//
+// Oracle evaluations are independent of each other, so both engines batch
+// them through internal/parallel: chromosomes are generated on the
+// coordinating goroutine (keeping the RNG stream identical to a serial run),
+// deduped against a content-addressed memo-cache, and only the distinct
+// misses are fanned out across workers. Results land in index-addressed
+// slots, so every Result is byte-identical for every worker count.
 package opt
 
 import (
@@ -15,6 +22,8 @@ import (
 
 	"cohort/internal/analysis"
 	"cohort/internal/config"
+	"cohort/internal/parallel"
+	"cohort/internal/stats"
 	"cohort/internal/trace"
 )
 
@@ -127,17 +136,59 @@ type Evaluation struct {
 // Feasible reports whether every requirement is met.
 func (e *Evaluation) Feasible() bool { return e.Violation == 0 }
 
-// Evaluate computes the objective and constraint state of a timer vector.
-func (p *Problem) Evaluate(timers []config.Timer) Evaluation {
+// compiled holds the per-problem invariants of the oracle, hoisted out of
+// the per-genome loop: the per-core request counts Λ_i, the resolved MSI
+// weight, and the timer-independent part of the WCL bound. With the hoist
+// one evaluation is O(n) in the core count instead of O(n²) — WCL_i is
+// wclBase + Σ_{θ_j≥0}(θ_j+sw) minus core i's own term, all integer
+// arithmetic, so the result is bit-identical to analysis.WCLCoHoRT.
+//
+// A compiled problem is immutable after compile and safe to share across
+// evaluation workers.
+type compiled struct {
+	p       *Problem
+	lambdas []int64
+	msiW    float64
+	sw      int64
+	wclBase int64
+}
+
+func (p *Problem) compile() *compiled {
+	n := len(p.Streams)
+	c := &compiled{
+		p:       p,
+		lambdas: make([]int64, n),
+		msiW:    p.msiWeight(),
+		sw:      p.Lat.SlotWidth(),
+	}
+	for i := range p.Streams {
+		c.lambdas[i] = int64(len(p.Streams[i]))
+	}
+	c.wclBase = c.sw + 2*int64(n-1)*c.sw
+	return c
+}
+
+func (c *compiled) evaluate(timers []config.Timer) Evaluation {
+	p := c.p
 	n := len(p.Streams)
 	ev := Evaluation{
 		Timers:  append([]config.Timer(nil), timers...),
 		PerCore: make([]analysis.CoreBound, n),
 	}
+	// Timer-dependent part of every core's WCL, computed once per vector.
+	var timerSum int64
+	for _, th := range timers {
+		if th >= 0 {
+			timerSum += int64(th) + c.sw
+		}
+	}
 	for i := 0; i < n; i++ {
 		b := analysis.CoreBound{Core: i, Theta: timers[i]}
-		b.WCL = analysis.WCLCoHoRT(p.Lat, timers, i)
-		lambda := int64(len(p.Streams[i]))
+		b.WCL = c.wclBase + timerSum
+		if timers[i] >= 0 {
+			b.WCL -= int64(timers[i]) + c.sw
+		}
+		lambda := c.lambdas[i]
 		if timers[i].Timed() {
 			// The paper's oracle: in-isolation hit analysis (Fig. 2a).
 			b.MHit, b.MMiss = analysis.IsolationHits(p.Streams[i], p.L1, p.Lat, timers[i])
@@ -154,7 +205,7 @@ func (p *Problem) Evaluate(timers []config.Timer) Evaluation {
 			if p.Timed[i] {
 				ev.Objective += term
 			} else {
-				ev.Objective += p.msiWeight() * term
+				ev.Objective += c.msiW * term
 			}
 		}
 		// C1: enforced for timed cores with a requirement.
@@ -165,6 +216,11 @@ func (p *Problem) Evaluate(timers []config.Timer) Evaluation {
 	return ev
 }
 
+// Evaluate computes the objective and constraint state of a timer vector.
+func (p *Problem) Evaluate(timers []config.Timer) Evaluation {
+	return p.compile().evaluate(timers)
+}
+
 // fitness folds constraint violations into a single minimized scalar: any
 // infeasible point ranks strictly worse than every feasible one.
 func fitness(ev *Evaluation) float64 {
@@ -172,6 +228,99 @@ func fitness(ev *Evaluation) float64 {
 		return ev.Objective
 	}
 	return 1e18 * (1 + ev.Violation)
+}
+
+// evaluator runs oracle evaluations for one optimization run: a compiled
+// problem, a worker count, and a content-addressed memo-cache keyed by the
+// timer vector, so a genome that reappears (elites, converged populations,
+// revisited neighbors) is never recomputed.
+type evaluator struct {
+	p       *Problem
+	c       *compiled
+	workers int
+	cache   *parallel.Cache[Evaluation]
+	// computed counts oracle evaluations actually performed (cache misses
+	// deduped within each batch).
+	computed int
+}
+
+func newEvaluator(p *Problem, workers int) *evaluator {
+	return &evaluator{
+		p:       p,
+		c:       p.compile(),
+		workers: workers,
+		cache:   parallel.NewCache[Evaluation](),
+	}
+}
+
+// genomeKey builds the memo-cache key of a full timer vector. The problem is
+// fixed for the lifetime of the evaluator, so the vector alone addresses the
+// evaluation.
+func genomeKey(timers []config.Timer) string {
+	k := parallel.NewKey("opt/eval")
+	for _, th := range timers {
+		k.Int64(int64(th))
+	}
+	return k.Sum()
+}
+
+// batch evaluates one chromosome batch and returns the evaluations in
+// submission order. Every cache probe happens here, on the calling
+// goroutine, before anything is dispatched: repeats — within the batch or
+// across generations — are deduped up front, so the hit/miss counters and
+// the set of computed jobs are a pure function of the genome sequence,
+// identical for every worker count.
+func (e *evaluator) batch(genomes [][]config.Timer) []Evaluation {
+	out := make([]Evaluation, len(genomes))
+	// slot[i] is the job index computing out[i], or -1 when cached.
+	slot := make([]int, len(genomes))
+	var jobs [][]config.Timer
+	var jobKeys []string
+	queued := make(map[string]int, len(genomes))
+	for i, g := range genomes {
+		timers := e.p.Timers(g)
+		key := genomeKey(timers)
+		if v, ok := e.cache.Get(key); ok {
+			out[i], slot[i] = v, -1
+			continue
+		}
+		if j, ok := queued[key]; ok {
+			slot[i] = j
+			continue
+		}
+		queued[key] = len(jobs)
+		slot[i] = len(jobs)
+		jobs = append(jobs, timers)
+		jobKeys = append(jobKeys, key)
+	}
+	results := parallel.Map(e.workers, len(jobs), func(j int) Evaluation {
+		return e.c.evaluate(jobs[j])
+	})
+	for j := range jobKeys {
+		e.cache.Put(jobKeys[j], results[j])
+	}
+	e.computed += len(jobs)
+	for i := range genomes {
+		if slot[i] >= 0 {
+			out[i] = results[slot[i]]
+		}
+	}
+	return out
+}
+
+// thetaIS computes the per-gene saturation timers (§V) — one independent
+// analysis sweep per timed core, fanned out across workers.
+func thetaIS(p *Problem, workers int) []config.Timer {
+	timed := make([]int, 0, len(p.Timed))
+	for i, t := range p.Timed {
+		if t {
+			timed = append(timed, i)
+		}
+	}
+	return parallel.Map(workers, len(timed), func(g int) config.Timer {
+		th, _ := analysis.SaturationTimer(p.Streams[timed[g]], p.L1, p.Lat)
+		return th
+	})
 }
 
 // GAConfig tunes the genetic algorithm. DefaultGA mirrors a conventional
@@ -191,6 +340,10 @@ type GAConfig struct {
 	MutationProb float64
 	// Seed makes runs deterministic.
 	Seed uint64
+	// Workers caps the evaluation worker pool: 1 forces the serial path,
+	// anything below 1 selects runtime.NumCPU(). The Result is byte-identical
+	// for every value.
+	Workers int
 }
 
 // DefaultGA returns the parameters used by the experiment harness.
@@ -217,12 +370,24 @@ type Result struct {
 	ThetaIS []config.Timer
 	// BestHistory records the best fitness per generation.
 	BestHistory []float64
-	// Evaluations counts oracle calls.
+	// Evaluations counts the oracle evaluations actually computed; genomes
+	// repeated across the run are served by the memo-cache and counted once.
 	Evaluations int
+	// Engine reports the memo-cache counters (requests, hits, misses). The
+	// coordinator probes the cache serially, so these are deterministic and
+	// identical for every Workers value. Note CacheMisses can exceed
+	// Evaluations: a genome repeated inside one batch misses twice but is
+	// computed once.
+	Engine stats.EngineStats
 }
 
 // Optimize runs the GA and returns the best timer vector found. With no
 // timed cores it returns the all-MSI vector immediately.
+//
+// Chromosome generation (all RNG use) happens on the calling goroutine in
+// the same order as a serial run; only the deduped oracle evaluations are
+// dispatched to workers. Optimize therefore returns a byte-identical Result
+// for every GAConfig.Workers value.
 func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -245,14 +410,7 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 	}
 
 	// Per-gene upper bounds: θ_is from the saturation sweep (§V).
-	res.ThetaIS = make([]config.Timer, 0, nGenes)
-	for i, timed := range p.Timed {
-		if !timed {
-			continue
-		}
-		thIS, _ := analysis.SaturationTimer(p.Streams[i], p.L1, p.Lat)
-		res.ThetaIS = append(res.ThetaIS, thIS)
-	}
+	res.ThetaIS = thetaIS(p, gc.Workers)
 
 	rng := trace.NewRNG(gc.Seed ^ 0x6f7074) // "opt"
 	randGene := func(g int) config.Timer {
@@ -275,14 +433,18 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 		ev    Evaluation
 		fit   float64
 	}
-	eval := func(genes []config.Timer) indiv {
-		ev := p.Evaluate(p.Timers(genes))
-		res.Evaluations++
-		return indiv{genes: genes, ev: ev, fit: fitness(&ev)}
+	oracle := newEvaluator(p, gc.Workers)
+	evalAll := func(genomes [][]config.Timer) []indiv {
+		evs := oracle.batch(genomes)
+		out := make([]indiv, len(genomes))
+		for i := range genomes {
+			out[i] = indiv{genes: genomes[i], ev: evs[i], fit: fitness(&evs[i])}
+		}
+		return out
 	}
 
-	pop := make([]indiv, gc.Pop)
-	for i := range pop {
+	genomes := make([][]config.Timer, gc.Pop)
+	for i := range genomes {
 		genes := make([]config.Timer, nGenes)
 		for g := range genes {
 			switch {
@@ -294,8 +456,9 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 				genes[g] = randGene(g)
 			}
 		}
-		pop[i] = eval(genes)
+		genomes[i] = genes
 	}
+	pop := evalAll(genomes)
 
 	best := pop[0]
 	for i := range pop {
@@ -332,7 +495,11 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 			order[e], order[bi] = order[bi], order[e]
 			next = append(next, pop[order[e]])
 		}
-		for len(next) < gc.Pop {
+		// Selection and variation draw only from the previous generation's
+		// pop and the RNG, never from an evaluation of this generation, so
+		// all children can be bred first and evaluated as one batch.
+		children := make([][]config.Timer, 0, gc.Pop-len(next))
+		for len(next)+len(children) < gc.Pop {
 			a, b := tournament(), tournament()
 			child := make([]config.Timer, nGenes)
 			if rng.Float64() < gc.CrossoverProb {
@@ -365,8 +532,9 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 					}
 				}
 			}
-			next = append(next, eval(child))
+			children = append(children, child)
 		}
+		next = append(next, evalAll(children)...)
 		pop = next
 		for i := range pop {
 			if pop[i].fit < best.fit {
@@ -378,5 +546,7 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 
 	res.Timers = p.Timers(best.genes)
 	res.Eval = best.ev
+	res.Evaluations = oracle.computed
+	res.Engine = oracle.cache.Stats()
 	return res, nil
 }

@@ -1,0 +1,133 @@
+// Package parallel implements the deterministic evaluation engine that fans
+// independent simulator runs and oracle evaluations out across worker
+// goroutines (DESIGN.md §9). The GA's fitness evaluations, the hill climber's
+// neighbor batches and every experiment cell (one benchmark × one system
+// configuration) are embarrassingly parallel: each job reads shared immutable
+// inputs and produces one value.
+//
+// Determinism is structural, not accidental:
+//
+//   - Results live in index-addressed slots. Workers pull job indices from an
+//     atomic counter and write out[i]; nothing is reduced through a channel,
+//     so the output order is the submission order no matter how the Go
+//     scheduler interleaves the workers.
+//   - Jobs never share an RNG. A job that needs randomness derives its own
+//     seed with JobSeed (the job index hashed into the base seed), so the
+//     random stream a job sees is a function of (base seed, index) only.
+//   - With workers == 1 the jobs run inline on the caller's goroutine in
+//     index order — the legacy serial path, byte-identical by construction.
+//
+// The package deliberately knows nothing about the simulator: goroutines wrap
+// whole jobs (complete simulations or evaluations), never event callbacks —
+// the sim.Engine event loop stays single-threaded and internal/lint's
+// eventgoroutine analyzer keeps it that way.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker-count request: n ≥ 1 is used as given,
+// anything else (0, negative) selects runtime.NumCPU().
+func DefaultWorkers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Map evaluates fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the results in index order. fn must be safe for
+// concurrent invocation and must not mutate state shared between jobs; under
+// that contract the returned slice is identical for every worker count.
+// workers ≤ 0 selects runtime.NumCPU(); workers == 1 (or n ≤ 1) runs every
+// job inline on the caller's goroutine.
+//
+// A panic inside a job is re-raised on the caller's goroutine; when several
+// jobs panic, the one with the lowest index wins, so even failures are
+// deterministic.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicIdx = -1
+		panicVal any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicIdx == -1 || i < panicIdx {
+								panicIdx, panicVal = i, r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicIdx != -1 {
+		panic(panicVal)
+	}
+	return out
+}
+
+// MapErr evaluates fn(i) for every i in [0, n) like Map and returns the
+// results plus the error of the lowest-indexed failing job — exactly the
+// error a serial loop that stops at the first failure would report, so the
+// parallel and serial paths surface identical errors. Jobs are pure, so
+// running the jobs past the first (by index) failure is observable only as
+// wasted work, never as different output.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	errs := make([]error, n)
+	out := Map(workers, n, func(i int) T {
+		v, err := fn(i)
+		errs[i] = err
+		return v
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// JobSeed derives the RNG seed of job index from base by hashing the index
+// into the seed with a splitmix64 finalizer. Jobs seeded this way see random
+// streams that are a pure function of (base, index): independent of worker
+// count, scheduling order and of every other job — never hand jobs a shared
+// *rand.Rand or a parent RNG they advance in arrival order.
+func JobSeed(base uint64, index int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

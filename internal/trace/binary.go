@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Binary trace format: a compact varint encoding for large workloads
@@ -144,6 +145,12 @@ func ParseBinary(r io.Reader) (*Trace, error) {
 			gap, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("trace: core %d access %d gap: %w", c, i, err)
+			}
+			if gap > math.MaxInt64 {
+				// Gap is a cycle count stored as int64; a uvarint above
+				// MaxInt64 would silently wrap negative and stall the
+				// simulator's clock.
+				return nil, fmt.Errorf("trace: core %d access %d gap %d overflows int64", c, i, gap)
 			}
 			kind := Read
 			if flags&1 != 0 {

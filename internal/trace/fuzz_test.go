@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The parsers feed the parallel evaluation engine: a malformed trace file is
+// decoded on a worker goroutine, where a panic would take down the whole
+// process instead of failing one cell. The fuzzers assert the crash-free
+// property directly; the committed corpus under testdata/fuzz seeds both
+// well-formed and adversarial inputs so `go test` replays them on every run.
+
+// fuzzSeedTrace is a small well-formed trace whose binary encoding seeds the
+// corpus: multiple cores, both access kinds, non-zero gaps, and address
+// deltas in both directions so the zig-zag path is covered.
+func fuzzSeedTrace() *Trace {
+	return &Trace{
+		Name: "fuzz-seed",
+		Streams: []Stream{
+			{
+				{Addr: 0x1000, Kind: Read, Gap: 0},
+				{Addr: 0x1040, Kind: Write, Gap: 3},
+				{Addr: 0x0fc0, Kind: Read, Gap: 120},
+			},
+			{
+				{Addr: 0xffff_ffff_0000, Kind: Write, Gap: 1},
+			},
+			{},
+		},
+	}
+}
+
+func FuzzParseBinary(f *testing.F) {
+	var buf bytes.Buffer
+	if err := fuzzSeedTrace().WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                           // truncated mid-stream
+	f.Add([]byte("CTRB\x01"))                                             // header only
+	f.Add([]byte("CTRB\x02\x00\x01\x01"))                                 // wrong version
+	f.Add([]byte("NOPE\x01\x00\x01\x01"))                                 // bad magic
+	f.Add([]byte{})                                                       // empty
+	f.Add([]byte("CTRB\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")) // huge core count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip: re-encoding and re-parsing
+		// yields the same trace, and no gap may have wrapped negative.
+		for c, s := range tr.Streams {
+			for i, a := range s {
+				if a.Gap < 0 {
+					t.Fatalf("core %d access %d: negative gap %d survived parsing", c, i, a.Gap)
+				}
+			}
+		}
+		var out bytes.Buffer
+		if err := tr.WriteBinary(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		tr2, err := ParseBinary(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if tr.Name != tr2.Name || len(tr.Streams) != len(tr2.Streams) {
+			t.Fatalf("round-trip mismatch: %q/%d vs %q/%d",
+				tr.Name, len(tr.Streams), tr2.Name, len(tr2.Streams))
+		}
+	})
+}
+
+func FuzzParseDinero(f *testing.F) {
+	f.Add("0 1000\n1 1008\n2 2000\n")
+	f.Add("# comment\n-trailer\n\n0 0x1000 extra fields 99\n")
+	f.Add("3 1000\n")      // unknown access type
+	f.Add("0 zzzz\n")      // bad hex address
+	f.Add("justoneword\n") // too few fields
+	f.Add("0 ffffffffffffffff\n")
+	f.Add("0 10000000000000000\n") // address overflows uint64
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseDinero(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i, a := range s {
+			if a.Kind != Read && a.Kind != Write {
+				t.Fatalf("access %d: invalid kind %d", i, a.Kind)
+			}
+			if a.Gap != 0 {
+				t.Fatalf("access %d: din format carries no gaps, got %d", i, a.Gap)
+			}
+		}
+	})
+}
