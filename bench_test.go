@@ -180,6 +180,48 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// BenchmarkSimulatorThroughputObserved is the same run with a metrics
+// registry and span recorder attached; the delta against
+// BenchmarkSimulatorThroughput is the full observability overhead. The
+// unobserved benchmark's allocs/op must not move when internal/obs changes —
+// that is the zero-overhead-when-detached guard.
+func BenchmarkSimulatorThroughputObserved(b *testing.B) {
+	p, err := cohort.ProfileByName("fft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := p.Scaled(0.1).Generate(4, 64, 42)
+	cfg, err := cohort.NewCoHoRT(4, 1, []cohort.Timer{300, 100, 50, cohort.TimerMSI})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		sys, err := cohort.NewSystem(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, rec := cohort.NewMetricsRegistry(), cohort.NewSpanRecorder()
+		if err := sys.SetMetrics(reg); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.SetRecorder(rec); err != nil {
+			b.Fatal(err)
+		}
+		run, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += run.Cycles
+		if snap := reg.Snapshot(); len(snap) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 // BenchmarkGAGeneration measures the optimizer's oracle-evaluation cost.
 func BenchmarkGAGeneration(b *testing.B) {
 	p, err := cohort.ProfileByName("fft")

@@ -26,4 +26,11 @@ go test -race ./internal/parallel ./internal/opt ./internal/experiments
 echo "==> cohort-bench fig5a -j 8 smoke"
 go run ./cmd/cohort-bench -run fig5a -j 8 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 >/dev/null
 
+echo "==> observability smoke (manifest + report gate)"
+obsdir="$(mktemp -d)"
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/cohort-bench -run fig5a -j 1 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
+go run ./cmd/cohort-bench -run fig5a -j 8 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
+go run ./cmd/cohort-report -dir "$obsdir" -check >/dev/null
+
 echo "==> all checks passed"

@@ -11,14 +11,19 @@
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cohort"
 	"cohort/internal/experiments"
+	"cohort/internal/obs"
+	"cohort/internal/parallel"
 	"cohort/internal/stats"
 )
 
@@ -30,31 +35,65 @@ var known = []string{
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, obs.WallClock{}); err != nil {
 		fmt.Fprintln(os.Stderr, "cohort-bench:", err)
 		os.Exit(1)
 	}
 }
 
 // run executes the selected experiments and writes their tables to stdout.
-// Factored out of main so the golden-file tests drive the exact CLI path.
-func run(args []string, stdout io.Writer) error {
+// Factored out of main so the golden-file tests drive the exact CLI path;
+// clk is the injected wall clock (tests pass obs.ManualClock so manifests
+// are byte-reproducible).
+func run(args []string, stdout io.Writer, clk obs.Clock) error {
 	fs := flag.NewFlagSet("cohort-bench", flag.ContinueOnError)
 	var (
-		runList   = fs.String("run", "all", "comma-separated experiments: "+strings.Join(known, ", ")+" or 'all'")
-		scale     = fs.Float64("scale", 0.05, "access-count scale factor")
-		cap       = fs.Int("cap", 4000, "cap on accesses per core after scaling (0 = none)")
-		seed      = fs.Uint64("seed", 42, "trace generator seed")
-		bench     = fs.String("bench", "fft", "benchmark for fig7/table2")
-		benches   = fs.String("benches", "", "comma-separated benchmark subset for fig5/fig6/ablations (default: all)")
-		pop       = fs.Int("pop", 20, "GA population")
-		gens      = fs.Int("gens", 16, "GA generations")
-		md        = fs.Bool("md", false, "emit markdown tables")
-		jobs      = fs.Int("j", 0, "evaluation workers (1 = serial, <1 = NumCPU); output is identical for every value")
-		memoStats = fs.Bool("memo-stats", false, "report memo-cache counters on stderr (counters are scheduling-dependent, never part of the tables)")
+		runList    = fs.String("run", "all", "comma-separated experiments: "+strings.Join(known, ", ")+" or 'all'")
+		scale      = fs.Float64("scale", 0.05, "access-count scale factor")
+		cap        = fs.Int("cap", 4000, "cap on accesses per core after scaling (0 = none)")
+		seed       = fs.Uint64("seed", 42, "trace generator seed")
+		bench      = fs.String("bench", "fft", "benchmark for fig7/table2")
+		benches    = fs.String("benches", "", "comma-separated benchmark subset for fig5/fig6/ablations (default: all)")
+		pop        = fs.Int("pop", 20, "GA population")
+		gens       = fs.Int("gens", 16, "GA generations")
+		md         = fs.Bool("md", false, "emit markdown tables")
+		jobs       = fs.Int("j", 0, "evaluation workers (1 = serial, <1 = NumCPU); output is identical for every value")
+		memoStats  = fs.Bool("memo-stats", false, "report memo-cache counters on stderr (counters are scheduling-dependent, never part of the tables)")
+		outDir     = fs.String("out-dir", "", "write a run manifest and a Chrome trace (Perfetto) into this directory")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cohort-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cohort-bench: memprofile:", err)
+			}
+		}()
 	}
 
 	o := experiments.DefaultOptions()
@@ -88,6 +127,26 @@ func run(args []string, stdout io.Writer) error {
 			}
 			sel[k] = true
 		}
+	}
+	// selected lists the chosen experiments in canonical (known) order, so
+	// "-run fig6a,fig5a" and "-run fig5a,fig6a" share a config key.
+	var selected []string
+	for _, k := range known {
+		if sel[k] {
+			selected = append(selected, k)
+		}
+	}
+
+	var (
+		man *obs.Manifest
+		rec *obs.Recorder
+	)
+	if *outDir != "" {
+		man = obs.NewManifest("cohort-bench", clk)
+		man.Args = args
+		o.Metrics = obs.NewRegistry()
+		rec = obs.NewRecorder()
+		o.Recorder = rec
 	}
 
 	emit := func(t *stats.Table) {
@@ -212,8 +271,70 @@ func run(args []string, stdout io.Writer) error {
 		}
 		emit(res.Render())
 	}
+	engine := experiments.MemoStats()
 	if *memoStats {
-		fmt.Fprintln(os.Stderr, "cohort-bench memo:", experiments.MemoStats())
+		// Routed through the registry machinery so the counters render in the
+		// same canonical form as every other metric. They live in their own
+		// throwaway registry, never the manifest one: the hit/miss split is
+		// scheduling-dependent, and manifest metrics must stay byte-identical
+		// across worker counts.
+		sreg := obs.NewRegistry()
+		sreg.Gauge("memo_jobs_total").Set(engine.Jobs)
+		sreg.Gauge("memo_cache_hits").Set(engine.CacheHits)
+		sreg.Gauge("memo_cache_misses").Set(engine.CacheMisses)
+		fmt.Fprint(os.Stderr, "cohort-bench memo:\n"+sreg.Snapshot().String())
+	}
+	if man != nil {
+		refs, err := experiments.TraceRefs(o)
+		if err != nil {
+			return err
+		}
+		man.ConfigKey = benchConfigKey(selected, *bench, &o)
+		man.Traces = refs
+		man.Seed = int64(*seed)
+		man.Workers = parallel.DefaultWorkers(*jobs)
+		man.Engine = &engine
+		man.Metrics = o.Metrics.Snapshot()
+		man.Finish(clk)
+		path, err := man.Write(*outDir)
+		if err != nil {
+			return err
+		}
+		tracePath := strings.TrimSuffix(path, ".manifest.json") + ".trace.json"
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChrome(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cohort-bench: wrote %s and %s\n", path, tracePath)
 	}
 	return nil
+}
+
+// benchConfigKey fingerprints the effective experiment configuration —
+// everything that determines the results, and nothing that doesn't: the
+// worker count is deliberately excluded so -j 1 and -j 8 runs of the same
+// configuration share a key and cohort-report can compare them.
+func benchConfigKey(selected []string, bench string, o *experiments.Options) string {
+	k := parallel.NewKey("cohort-bench/config")
+	k.Int(len(selected))
+	for _, s := range selected {
+		k.Str(s)
+	}
+	k.Str(bench)
+	k.Int(o.NCores).Float64(o.Scale).Int(o.MaxAccessesPerCore).Uint64(o.Seed)
+	k.Int(len(o.Benchmarks))
+	for _, b := range o.Benchmarks {
+		k.Str(b)
+	}
+	g := o.GA
+	k.Int(g.Pop).Int(g.Generations).Int(g.Elite).Int(g.TournamentK)
+	k.Float64(g.CrossoverProb).Float64(g.MutationProb).Uint64(g.Seed)
+	return hex.EncodeToString([]byte(k.Sum()))
 }

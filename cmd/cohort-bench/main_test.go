@@ -5,10 +5,17 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"cohort/internal/experiments"
+	"cohort/internal/obs"
 )
+
+// testClock is the fixed clock injected into every test run: manifests must
+// be byte-reproducible, and nothing else in the CLI reads wall time.
+var testClock = obs.ManualClock{T: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
 
 // update regenerates the golden files: go test ./cmd/cohort-bench -update
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -39,12 +46,12 @@ func TestGolden(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			experiments.ResetMemo()
 			var serial bytes.Buffer
-			if err := run(append(tc.args, "-j", "1"), &serial); err != nil {
+			if err := run(append(tc.args, "-j", "1"), &serial, testClock); err != nil {
 				t.Fatalf("run -j 1: %v", err)
 			}
 			experiments.ResetMemo()
 			var par bytes.Buffer
-			if err := run(append(tc.args, "-j", "8"), &par); err != nil {
+			if err := run(append(tc.args, "-j", "8"), &par, testClock); err != nil {
 				t.Fatalf("run -j 8: %v", err)
 			}
 			if !bytes.Equal(serial.Bytes(), par.Bytes()) {
@@ -75,7 +82,89 @@ func TestGolden(t *testing.T) {
 // TestRunRejectsUnknownExperiment covers the CLI's selector validation.
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "fig9z"}, &out); err == nil {
+	if err := run([]string{"-run", "fig9z"}, &out, testClock); err == nil {
 		t.Fatal("expected an error for an unknown experiment name")
+	}
+}
+
+// TestManifestAndTraceWritten drives the -out-dir path end to end: the run
+// must leave a schema-valid manifest and a Chrome trace in the directory,
+// and the manifest's metrics snapshot must be byte-identical between -j 1
+// and -j 8 (the config key is shared, only the file's j suffix differs).
+func TestManifestAndTraceWritten(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(jobs string) *obs.Manifest {
+		t.Helper()
+		experiments.ResetMemo()
+		var out bytes.Buffer
+		if err := run(quickArgs("-run", "fig5a", "-j", jobs, "-out-dir", dir), &out, testClock); err != nil {
+			t.Fatalf("run -j %s: %v", jobs, err)
+		}
+		ms, err := obs.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			if m.Workers == 1 && jobs == "1" || m.Workers == 8 && jobs == "8" {
+				return m
+			}
+		}
+		t.Fatalf("no manifest for -j %s in %v", jobs, ms)
+		return nil
+	}
+	serial := runOnce("1")
+	par := runOnce("8")
+
+	if serial.Tool != "cohort-bench" {
+		t.Errorf("tool = %q", serial.Tool)
+	}
+	if serial.ConfigKey != par.ConfigKey {
+		t.Errorf("config keys differ across worker counts: %s vs %s", serial.ConfigKey, par.ConfigKey)
+	}
+	if len(serial.Traces) != 2 {
+		t.Errorf("expected 2 trace refs (fft, water), got %+v", serial.Traces)
+	}
+	if serial.Engine == nil || serial.Engine.Jobs == 0 {
+		t.Errorf("engine counters missing: %+v", serial.Engine)
+	}
+	sm, pm := serial.Metrics.JSON(), par.Metrics.JSON()
+	if !bytes.Equal(sm, pm) {
+		t.Errorf("manifest metrics differ across worker counts:\n--- j1 ---\n%s\n--- j8 ---\n%s", sm, pm)
+	}
+	if _, ok := serial.Metrics.Get("experiments_figures_total"); !ok {
+		t.Errorf("metrics snapshot missing figure counter:\n%s", serial.Metrics.String())
+	}
+
+	traces, err := filepath.Glob(filepath.Join(dir, "*.trace.json"))
+	if err != nil || len(traces) == 0 {
+		t.Fatalf("no chrome trace written (err %v)", err)
+	}
+	b, err := os.ReadFile(traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"traceEvents"`) || !strings.Contains(string(b), "fig5/all-cr") {
+		t.Errorf("chrome trace missing expected content:\n%s", b)
+	}
+}
+
+// TestPprofFlagsWriteProfiles exercises the satellite profiling flags.
+func TestPprofFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	experiments.ResetMemo()
+	var out bytes.Buffer
+	if err := run(quickArgs("-run", "table1", "-cpuprofile", cpu, "-memprofile", mem), &out, testClock); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

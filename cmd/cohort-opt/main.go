@@ -11,29 +11,67 @@
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"cohort"
+	"cohort/internal/experiments"
+	"cohort/internal/obs"
+	"cohort/internal/parallel"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "fft", "benchmark profile")
-		cores = flag.Int("cores", 4, "number of cores")
-		scale = flag.Float64("scale", 0.05, "access-count scale factor")
-		seed  = flag.Uint64("seed", 42, "trace generator seed")
-		timed = flag.String("timed", "", "comma-separated 0/1 mask of GA-optimized cores (default: all)")
-		gamma = flag.String("gamma", "", "comma-separated per-core WCML requirements Γ in cycles (0 = none)")
-		pop   = flag.Int("pop", 32, "GA population size")
-		gens  = flag.Int("gens", 40, "GA generations")
-		gaSd  = flag.Uint64("ga-seed", 1, "GA random seed")
-		jobs  = flag.Int("j", 0, "evaluation workers (1 = serial, <1 = NumCPU); the result is identical for every value")
+		bench      = flag.String("bench", "fft", "benchmark profile")
+		cores      = flag.Int("cores", 4, "number of cores")
+		scale      = flag.Float64("scale", 0.05, "access-count scale factor")
+		seed       = flag.Uint64("seed", 42, "trace generator seed")
+		timed      = flag.String("timed", "", "comma-separated 0/1 mask of GA-optimized cores (default: all)")
+		gamma      = flag.String("gamma", "", "comma-separated per-core WCML requirements Γ in cycles (0 = none)")
+		pop        = flag.Int("pop", 32, "GA population size")
+		gens       = flag.Int("gens", 40, "GA generations")
+		gaSd       = flag.Uint64("ga-seed", 1, "GA random seed")
+		jobs       = flag.Int("j", 0, "evaluation workers (1 = serial, <1 = NumCPU); the result is identical for every value")
+		outDir     = flag.String("out-dir", "", "write a run manifest and a GA Chrome trace (Perfetto) into this directory")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	clk := obs.Clock(obs.WallClock{})
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cohort-opt: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cohort-opt: memprofile:", err)
+			}
+		}()
+	}
 
 	p, err := cohort.ProfileByName(*bench)
 	if err != nil {
@@ -81,9 +119,57 @@ func main() {
 	gc.Pop, gc.Generations = *pop, *gens
 	gc.Workers = *jobs
 
+	var man *obs.Manifest
+	if *outDir != "" {
+		man = obs.NewManifest("cohort-opt", clk)
+		man.Args = os.Args[1:]
+		gc.Metrics = obs.NewRegistry()
+		gc.Recorder = obs.NewRecorder()
+	}
+
 	res, err := cohort.Optimize(prob, gc)
 	if err != nil {
 		fatal(err)
+	}
+
+	if man != nil {
+		// The config key covers every parameter that determines the Result —
+		// and not Workers, which by contract does not.
+		k := parallel.NewKey("cohort-opt/config")
+		k.Str(experiments.Fingerprint(tr)).Int(*cores)
+		for _, b := range timedMask {
+			k.Bool(b)
+		}
+		k.Int(len(gammas))
+		for _, g := range gammas {
+			k.Int64(g)
+		}
+		k.Int(gc.Pop).Int(gc.Generations).Int(gc.Elite).Int(gc.TournamentK)
+		k.Float64(gc.CrossoverProb).Float64(gc.MutationProb).Uint64(gc.Seed)
+		man.ConfigKey = hex.EncodeToString([]byte(k.Sum()))
+		man.Traces = []obs.TraceRef{{Name: tr.Name, Fingerprint: experiments.Fingerprint(tr)}}
+		man.Seed = int64(*seed)
+		man.Workers = parallel.DefaultWorkers(*jobs)
+		engine := res.Engine
+		man.Engine = &engine
+		man.Metrics = gc.Metrics.Snapshot()
+		man.Finish(clk)
+		path, err := man.Write(*outDir)
+		if err != nil {
+			fatal(err)
+		}
+		tracePath := strings.TrimSuffix(path, ".manifest.json") + ".trace.json"
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gc.Recorder.WriteChrome(tf); err != nil {
+			fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cohort-opt: wrote %s and %s\n", path, tracePath)
 	}
 
 	fmt.Printf("workload %s: %d oracle evaluations, feasible %v\n",

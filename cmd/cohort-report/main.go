@@ -1,0 +1,272 @@
+// Command cohort-report merges the run manifests written by cohort-bench,
+// cohort-opt and cohort-sim (-out-dir) into comparison reports. Manifests
+// sharing a (tool, config key) pair describe the same computation — usually
+// at different worker counts — so the report groups them, compares their
+// wall times, and cross-checks that their metrics snapshots are
+// byte-identical (the determinism contract made auditable after the fact).
+//
+// Usage:
+//
+//	cohort-report -dir results/
+//	cohort-report -dir results/ -md > report.md
+//	cohort-report -dir results/ -json
+//	cohort-report -dir results/ -check
+//	cohort-report -dir results/ -bench-out BENCH_baseline.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"cohort/internal/obs"
+	"cohort/internal/stats"
+)
+
+// TrajectorySchema identifies the perf-trajectory document format appended
+// to by -bench-out (the BENCH_*.json files tracked in the repository).
+const TrajectorySchema = "cohort/bench-trajectory/v1"
+
+// ReportSchema identifies the merged-report JSON format (-json).
+const ReportSchema = "cohort/report/v1"
+
+// Group is one (tool, config key) equivalence class of manifests.
+type Group struct {
+	Tool      string   `json:"tool"`
+	ConfigKey string   `json:"config_key"`
+	Runs      []RunRow `json:"runs"`
+	// MetricsAgree reports whether every run in the group carries a
+	// byte-identical metrics snapshot — the determinism contract.
+	MetricsAgree bool `json:"metrics_agree"`
+}
+
+// RunRow summarizes one manifest.
+type RunRow struct {
+	Workers     int                `json:"workers"`
+	Seed        int64              `json:"seed"`
+	StartedAt   string             `json:"started_at"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Engine      *stats.EngineStats `json:"engine,omitempty"`
+	Metrics     int                `json:"metrics"`
+}
+
+// Report is the merged view of one manifest directory.
+type Report struct {
+	Schema string  `json:"schema"`
+	Groups []Group `json:"groups"`
+}
+
+// TrajectoryEntry is one appended perf point: what ran and how long it took.
+type TrajectoryEntry struct {
+	Tool        string             `json:"tool"`
+	ConfigKey   string             `json:"config_key"`
+	Workers     int                `json:"workers"`
+	StartedAt   string             `json:"started_at"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Engine      *stats.EngineStats `json:"engine,omitempty"`
+}
+
+// Trajectory is the append-only wall-time record (BENCH_*.json).
+type Trajectory struct {
+	Schema  string            `json:"schema"`
+	Entries []TrajectoryEntry `json:"entries"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cohort-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cohort-report", flag.ContinueOnError)
+	var (
+		dir      = fs.String("dir", "", "directory of *.manifest.json files (required)")
+		md       = fs.Bool("md", false, "emit a markdown report")
+		asJSON   = fs.Bool("json", false, "emit the merged report as JSON instead of tables")
+		check    = fs.Bool("check", false, "strict mode for CI: require at least one manifest and fail on any determinism mismatch")
+		benchOut = fs.String("bench-out", "", "append every run's wall time to this perf-trajectory JSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+
+	ms, err := obs.LoadDir(*dir)
+	if err != nil {
+		return err
+	}
+	if *check && len(ms) == 0 {
+		return fmt.Errorf("%s holds no manifests", *dir)
+	}
+
+	rep := merge(ms)
+
+	if *asJSON {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		render(stdout, rep, *md)
+	}
+
+	if *benchOut != "" {
+		if err := appendTrajectory(*benchOut, ms); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cohort-report: appended %d run(s) to %s\n", len(ms), *benchOut)
+	}
+
+	if *check {
+		for _, g := range rep.Groups {
+			if !g.MetricsAgree {
+				return fmt.Errorf("determinism violation: %s runs with config %s disagree on metrics",
+					g.Tool, obs.ShortKey(g.ConfigKey))
+			}
+		}
+	}
+	return nil
+}
+
+// merge groups the manifests by (tool, config key) and cross-checks each
+// group's metrics snapshots.
+func merge(ms []*obs.Manifest) *Report {
+	byKey := map[string][]*obs.Manifest{}
+	var order []string
+	for _, m := range ms {
+		id := m.Tool + "\x00" + m.ConfigKey
+		if _, seen := byKey[id]; !seen {
+			order = append(order, id)
+		}
+		byKey[id] = append(byKey[id], m)
+	}
+	sort.Strings(order)
+
+	rep := &Report{Schema: ReportSchema}
+	for _, id := range order {
+		group := byKey[id]
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].Workers != group[j].Workers {
+				return group[i].Workers < group[j].Workers
+			}
+			return group[i].StartedAt < group[j].StartedAt
+		})
+		g := Group{Tool: group[0].Tool, ConfigKey: group[0].ConfigKey, MetricsAgree: true}
+		want := group[0].Metrics.JSON()
+		for _, m := range group {
+			if !bytes.Equal(m.Metrics.JSON(), want) {
+				g.MetricsAgree = false
+			}
+			g.Runs = append(g.Runs, RunRow{
+				Workers:     m.Workers,
+				Seed:        m.Seed,
+				StartedAt:   m.StartedAt,
+				WallSeconds: m.WallSeconds,
+				Engine:      m.Engine,
+				Metrics:     len(m.Metrics),
+			})
+		}
+		rep.Groups = append(rep.Groups, g)
+	}
+	return rep
+}
+
+// render lays the report out as one table per group plus a verdict line.
+func render(w io.Writer, rep *Report, md bool) {
+	if len(rep.Groups) == 0 {
+		fmt.Fprintln(w, "no manifests found")
+		return
+	}
+	for _, g := range rep.Groups {
+		t := stats.NewTable(
+			fmt.Sprintf("%s @ %s", g.Tool, obs.ShortKey(g.ConfigKey)),
+			"workers", "seed", "started", "wall s", "engine jobs", "hits", "misses", "metrics")
+		for _, r := range g.Runs {
+			jobs, hits, misses := "-", "-", "-"
+			if r.Engine != nil {
+				jobs = fmt.Sprintf("%d", r.Engine.Jobs)
+				hits = fmt.Sprintf("%d", r.Engine.CacheHits)
+				misses = fmt.Sprintf("%d", r.Engine.CacheMisses)
+			}
+			t.AddRow(fmt.Sprintf("%d", r.Workers), fmt.Sprintf("%d", r.Seed), r.StartedAt,
+				fmt.Sprintf("%.2f", r.WallSeconds), jobs, hits, misses, fmt.Sprintf("%d", r.Metrics))
+		}
+		if md {
+			fmt.Fprintln(w, t.Markdown())
+		} else {
+			fmt.Fprintln(w, t.String())
+		}
+		verdict := "metrics agree across runs"
+		if !g.MetricsAgree {
+			verdict = "METRICS DISAGREE — determinism contract violated"
+		}
+		fmt.Fprintf(w, "%s\n\n", verdict)
+	}
+}
+
+// appendTrajectory appends one entry per manifest to the perf-trajectory
+// file, creating it when absent. Exact duplicates (same tool, key, workers,
+// start time) are dropped so re-running the report is idempotent.
+func appendTrajectory(path string, ms []*obs.Manifest) error {
+	traj := &Trajectory{Schema: TrajectorySchema}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, traj); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if traj.Schema != TrajectorySchema {
+			return fmt.Errorf("%s: schema %q, want %q", path, traj.Schema, TrajectorySchema)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, e := range traj.Entries {
+		seen[trajID(e)] = true
+	}
+	for _, m := range ms {
+		e := TrajectoryEntry{
+			Tool:        m.Tool,
+			ConfigKey:   m.ConfigKey,
+			Workers:     m.Workers,
+			StartedAt:   m.StartedAt,
+			WallSeconds: m.WallSeconds,
+			Engine:      m.Engine,
+		}
+		if seen[trajID(e)] {
+			continue
+		}
+		seen[trajID(e)] = true
+		traj.Entries = append(traj.Entries, e)
+	}
+	sort.Slice(traj.Entries, func(i, j int) bool {
+		a, b := traj.Entries[i], traj.Entries[j]
+		if a.StartedAt != b.StartedAt {
+			return a.StartedAt < b.StartedAt
+		}
+		if a.Tool != b.Tool {
+			return a.Tool < b.Tool
+		}
+		if a.ConfigKey != b.ConfigKey {
+			return a.ConfigKey < b.ConfigKey
+		}
+		return a.Workers < b.Workers
+	})
+	b, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func trajID(e TrajectoryEntry) string {
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%s", e.Tool, e.ConfigKey, e.Workers, e.StartedAt)
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cohort/internal/obs"
+	"cohort/internal/stats"
+)
+
+var key = strings.Repeat("ab", 32)
+
+// writeManifest drops a minimal valid manifest into dir.
+func writeManifest(t *testing.T, dir string, workers int, metrics obs.Snapshot) {
+	t.Helper()
+	clk := obs.ManualClock{T: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+	m := obs.NewManifest("cohort-bench", clk)
+	m.ConfigKey = key
+	m.Seed = 42
+	m.Workers = workers
+	m.Engine = &stats.EngineStats{Jobs: 10, CacheHits: 4, CacheMisses: 6}
+	m.Metrics = metrics
+	if _, err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func snap(v int64) obs.Snapshot {
+	return obs.Snapshot{{Name: "experiments_cells_total", Kind: obs.KindCounter, Value: v}}
+}
+
+func TestReportGroupsAndPasses(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, 1, snap(8))
+	writeManifest(t, dir, 8, snap(8))
+
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-check"}, &out); err != nil {
+		t.Fatalf("check on agreeing manifests failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "metrics agree across runs") {
+		t.Errorf("missing verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), obs.ShortKey(key)) {
+		t.Errorf("missing group key:\n%s", out.String())
+	}
+}
+
+func TestReportDetectsDeterminismViolation(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, 1, snap(8))
+	writeManifest(t, dir, 8, snap(9)) // diverging metric value
+
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir}, &out); err != nil {
+		t.Fatalf("non-strict run must not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "METRICS DISAGREE") {
+		t.Errorf("missing violation verdict:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-dir", dir, "-check"}, &out); err == nil {
+		t.Fatal("-check must fail on diverging metrics")
+	}
+}
+
+func TestReportCheckRequiresManifests(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dir", t.TempDir(), "-check"}, &out); err == nil {
+		t.Fatal("-check on an empty directory must fail")
+	}
+	out.Reset()
+	if err := run([]string{"-dir", t.TempDir()}, &out); err != nil {
+		t.Fatalf("non-strict empty directory must render, not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "no manifests") {
+		t.Errorf("missing empty notice:\n%s", out.String())
+	}
+}
+
+func TestReportJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, 1, snap(8))
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Schema != ReportSchema || len(rep.Groups) != 1 || !rep.Groups[0].MetricsAgree {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+}
+
+func TestTrajectoryAppendIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, 1, snap(8))
+	writeManifest(t, dir, 8, snap(8))
+	traj := filepath.Join(t.TempDir(), "BENCH_test.json")
+
+	var out bytes.Buffer
+	for i := 0; i < 2; i++ { // second pass must dedup, not double
+		if err := run([]string{"-dir", dir, "-bench-out", traj}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := os.ReadFile(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != TrajectorySchema {
+		t.Errorf("schema = %q", tr.Schema)
+	}
+	if len(tr.Entries) != 2 {
+		t.Errorf("expected 2 deduped entries, got %d: %+v", len(tr.Entries), tr.Entries)
+	}
+	if tr.Entries[0].Workers != 1 || tr.Entries[1].Workers != 8 {
+		t.Errorf("entries out of order: %+v", tr.Entries)
+	}
+}

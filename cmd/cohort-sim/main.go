@@ -13,6 +13,8 @@ package main
 
 import (
 	"bufio"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,9 @@ import (
 	"strings"
 
 	"cohort"
+	"cohort/internal/experiments"
+	"cohort/internal/obs"
+	"cohort/internal/parallel"
 )
 
 func main() {
@@ -41,6 +46,8 @@ func main() {
 		hwOverhead = flag.Bool("hwcost", false, "print the CoHoRT hardware-overhead report")
 		vcdFile    = flag.String("vcd", "", "write a Value Change Dump of the run to this file")
 		checkInv   = flag.Bool("check", false, "validate protocol invariants after every bus transaction (slower)")
+		chromeFile = flag.String("chrome", "", "write a Chrome trace (Perfetto) of the run to this file")
+		outDir     = flag.String("out-dir", "", "write a run manifest with the full metrics snapshot into this directory")
 	)
 	flag.Parse()
 
@@ -91,6 +98,22 @@ func main() {
 	sys, err := cohort.NewSystem(cfg, tr)
 	if err != nil {
 		fatal(err)
+	}
+	var (
+		reg *obs.Registry
+		rec *obs.Recorder
+	)
+	if *outDir != "" {
+		reg = obs.NewRegistry()
+		if err := sys.SetMetrics(reg); err != nil {
+			fatal(err)
+		}
+	}
+	if *chromeFile != "" {
+		rec = obs.NewRecorder()
+		if err := sys.SetRecorder(rec); err != nil {
+			fatal(err)
+		}
 	}
 	var closeVCD func() error
 	if *vcdFile != "" {
@@ -166,6 +189,42 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote waveform to %s\n", *vcdFile)
+	}
+	if rec != nil {
+		f, err := os.Create(*chromeFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote chrome trace to %s (load at ui.perfetto.dev)\n", *chromeFile)
+	}
+	if reg != nil {
+		clk := obs.Clock(obs.WallClock{})
+		man := obs.NewManifest("cohort-sim", clk)
+		man.Args = os.Args[1:]
+		// The key covers the full platform description and the workload
+		// content; the simulator is single-threaded, so workers is always 1.
+		cfgJSON, err := json.Marshal(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		k := parallel.NewKey("cohort-sim/config").Bytes(cfgJSON).Str(experiments.Fingerprint(tr)).Str(*switches)
+		man.ConfigKey = hex.EncodeToString([]byte(k.Sum()))
+		man.Traces = []obs.TraceRef{{Name: tr.Name, Fingerprint: experiments.Fingerprint(tr)}}
+		man.Seed = int64(*seed)
+		man.Workers = 1
+		man.Metrics = reg.Snapshot()
+		man.Finish(clk)
+		path, err := man.Write(*outDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote manifest to %s\n", path)
 	}
 }
 

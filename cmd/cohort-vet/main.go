@@ -37,6 +37,10 @@ var contractPackages = map[string]bool{
 	"cohort/internal/trace":     true,
 	"cohort/internal/opt":       true,
 	"cohort/internal/invariant": true, // runs inside the simulator hot path
+	// The observability layer feeds deterministic snapshots and traces; its
+	// sole sanctioned wall-clock read (obs.WallClock.Now, manifests only)
+	// carries a //cohort:allow annotation.
+	"cohort/internal/obs": true,
 }
 
 func main() {

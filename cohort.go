@@ -48,6 +48,7 @@ import (
 	"cohort/internal/core"
 	"cohort/internal/experiments"
 	"cohort/internal/hwcost"
+	"cohort/internal/obs"
 	"cohort/internal/opt"
 	"cohort/internal/sched"
 	"cohort/internal/stats"
@@ -362,3 +363,39 @@ const (
 func NewVCDRecorder(w io.Writer, nCores int) (*VCDRecorder, error) {
 	return vcd.NewRecorder(w, nCores)
 }
+
+// Metrics / span / manifest types (internal/obs; see DESIGN.md §10).
+type (
+	// MetricsRegistry collects deterministic counters, gauges and histograms
+	// from an attached System (System.SetMetrics), optimizer (GAConfig.Metrics)
+	// or experiment run (ExperimentOptions.Metrics).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is the registry state in canonical order.
+	MetricsSnapshot = obs.Snapshot
+	// MetricLabel is one key=value metric dimension.
+	MetricLabel = obs.Label
+	// SpanRecorder collects spans and instants and exports Chrome trace-event
+	// JSON for Perfetto (System.SetRecorder, GAConfig.Recorder,
+	// ExperimentOptions.Recorder).
+	SpanRecorder = obs.Recorder
+	// RunManifest describes one CLI invocation for cmd/cohort-report.
+	RunManifest = obs.Manifest
+	// ManifestClock abstracts the wall clock used only for manifests.
+	ManifestClock = obs.Clock
+	// WallClock is the production ManifestClock.
+	WallClock = obs.WallClock
+	// ManualClock is a fixed-time ManifestClock for reproducible manifests.
+	ManualClock = obs.ManualClock
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSpanRecorder returns an empty span recorder.
+func NewSpanRecorder() *SpanRecorder { return obs.NewRecorder() }
+
+// NewRunManifest starts a manifest for the named tool.
+func NewRunManifest(tool string, clk ManifestClock) *RunManifest { return obs.NewManifest(tool, clk) }
+
+// LoadManifests reads every *.manifest.json in dir in sorted order.
+func LoadManifests(dir string) ([]*RunManifest, error) { return obs.LoadDir(dir) }

@@ -7,7 +7,11 @@
 // request state; bus occupancy and transaction timing live in internal/core.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+
+	"cohort/internal/obs"
+)
 
 // Candidate is the arbiter's view of one core when the bus is free.
 type Candidate struct {
@@ -52,7 +56,8 @@ type Arbiter interface {
 // does not cost the position, which is what tightens the per-request bound
 // (paper §III-B, [18]).
 type RROF struct {
-	order []int
+	order  []int
+	grants obs.Counter
 }
 
 // NewRROF builds an RROF arbiter over n cores, initially ordered 0..n-1.
@@ -71,6 +76,7 @@ func (a *RROF) Name() string { return "rrof" }
 func (a *RROF) Pick(_ int64, cands []Candidate) int {
 	for _, core := range a.order {
 		if cands[core].Ready {
+			a.grants.Inc()
 			return core
 		}
 	}
@@ -98,7 +104,8 @@ func (a *RROF) Order() []int { return append([]int(nil), a.order...) }
 // RR is a conventional round-robin arbiter: any grant (including a bare
 // broadcast) rotates the core to the back of the sequence.
 type RR struct {
-	order []int
+	order  []int
+	grants obs.Counter
 }
 
 // NewRR builds a plain round-robin arbiter over n cores.
@@ -118,6 +125,7 @@ func (a *RR) Pick(_ int64, cands []Candidate) int {
 	for i, core := range a.order {
 		if cands[core].Ready {
 			a.order = append(append(a.order[:i:i], a.order[i+1:]...), core)
+			a.grants.Inc()
 			return core
 		}
 	}
@@ -135,7 +143,9 @@ func (a *RR) NextWake(int64) int64 { return -1 }
 // FCFS grants the ready core whose oldest pending request was enqueued
 // first (ties broken by core id). This is the COTS arbiter the paper
 // normalizes Fig. 6 against.
-type FCFS struct{}
+type FCFS struct {
+	grants obs.Counter
+}
 
 // NewFCFS builds a first-come-first-served arbiter.
 func NewFCFS() *FCFS { return &FCFS{} }
@@ -157,6 +167,7 @@ func (a *FCFS) Pick(_ int64, cands []Candidate) int {
 	if best == -1 {
 		return -1
 	}
+	a.grants.Inc()
 	return cands[best].Core
 }
 
@@ -178,6 +189,7 @@ type TDM struct {
 	schedule  []int // slot owners (critical cores)
 	slotWidth int64
 	critOnly  bool
+	grants    obs.Counter
 }
 
 // NewTDM builds the PENDULUM arbiter. critical flags each core; slotWidth
@@ -218,6 +230,7 @@ func (a *TDM) Pick(now int64, cands []Candidate) int {
 	}
 	owner := a.SlotOwner(now)
 	if cands[owner].Ready {
+		a.grants.Inc()
 		return owner
 	}
 	// Idle slot: optionally serve a non-critical core.
@@ -230,6 +243,7 @@ func (a *TDM) Pick(now int64, cands []Candidate) int {
 	}
 	for i := range cands {
 		if !cands[i].Critical && cands[i].Ready {
+			a.grants.Inc()
 			return cands[i].Core
 		}
 	}
@@ -243,3 +257,21 @@ func (a *TDM) Served(int) {}
 func (a *TDM) NextWake(now int64) int64 {
 	return (now/a.slotWidth + 1) * a.slotWidth
 }
+
+// --- observability ----------------------------------------------------------
+
+// Grants returns the number of bus grants this arbiter instance has issued.
+// Every policy counts grants; core.System.SetMetrics reads the value through
+// this accessor so the metric follows arbiter replacement (the TDM schedule
+// is rebuilt on a mode switch).
+func (a *RROF) Grants() int64 { return a.grants.Value() }
+
+// Grants returns the number of bus grants issued (see RROF.Grants).
+func (a *RR) Grants() int64 { return a.grants.Value() }
+
+// Grants returns the number of bus grants issued (see RROF.Grants).
+func (a *FCFS) Grants() int64 { return a.grants.Value() }
+
+// Grants returns the number of bus grants issued by this instance (see
+// RROF.Grants; a mode switch resets the count with the schedule).
+func (a *TDM) Grants() int64 { return a.grants.Value() }

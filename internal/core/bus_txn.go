@@ -217,6 +217,9 @@ func (s *System) releaseOwner(line uint64, li *coherence.LineInfo, write bool, n
 	}
 	oc := s.cores[li.Owner]
 	if e := oc.l1.Lookup(line); e != nil {
+		if oc.theta.Timed() {
+			s.recordTimerWindow(oc.id, line, li.OwnerFetch, now)
+		}
 		if write || oc.theta != config.TimerMSI {
 			oc.l1.Invalidate(e)
 			s.run.Cores[oc.id].Invalidations++
@@ -253,6 +256,9 @@ func (s *System) scheduleOwnerRelease(line uint64, li *coherence.LineInfo, owner
 // invalidateSharer drops a Shared copy whose release time has passed.
 func (s *System) invalidateSharer(cj *coreState, line uint64, li *coherence.LineInfo) {
 	if e := cj.l1.Lookup(line); e != nil && e.State == cache.Shared {
+		if cj.theta.Timed() {
+			s.recordTimerWindow(cj.id, line, e.FetchedAt, int64(s.eng.Now()))
+		}
 		cj.l1.Invalidate(e)
 		s.run.Cores[cj.id].Invalidations++
 		s.emit(TraceEvent{Cycle: int64(s.eng.Now()), Kind: EvInvalidate, Core: cj.id, Line: line})

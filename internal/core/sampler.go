@@ -1,6 +1,10 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"cohort/internal/obs"
+)
 
 // LatencySample is one point of a per-core cumulative-latency time series.
 type LatencySample struct {
@@ -14,53 +18,109 @@ type LatencySample struct {
 	Mode int
 }
 
+// latencySampler is the schedule and series of one sampled core.
+type latencySampler struct {
+	core    int
+	window  int64
+	samples []LatencySample
+}
+
 // SampleLatency arranges for one core's memory latency to be sampled every
 // window cycles during the run — the measured counterpart of the WCML-over-
 // time plot in Fig. 7a. Must be called before Run; retrieve the series with
-// LatencySeries afterward.
+// LatencySeries afterward. To sample several cores in one run use
+// SampleLatencyCores.
 func (s *System) SampleLatency(core int, window int64) error {
+	return s.SampleLatencyCores(window, core)
+}
+
+// SampleLatencyCores arranges for each listed core's memory latency to be
+// sampled every window cycles during the run. Must be called before Run;
+// calling it again for an already-sampled core replaces that core's window.
+// Retrieve the series with LatencySeriesFor.
+func (s *System) SampleLatencyCores(window int64, cores ...int) error {
 	if s.ran {
 		return errors.New("core: SampleLatency after Run")
-	}
-	if core < 0 || core >= len(s.cores) {
-		return errors.New("core: sampler core out of range")
 	}
 	if window <= 0 {
 		return errors.New("core: sampler window must be positive")
 	}
-	s.samplerCore = core
-	s.samplerWindow = window
-	s.samplerOn = true
+	for _, core := range cores {
+		if core < 0 || core >= len(s.cores) {
+			return errors.New("core: sampler core out of range")
+		}
+	}
+	for _, core := range cores {
+		replaced := false
+		for _, sm := range s.samplers {
+			if sm.core == core {
+				sm.window = window
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			s.samplers = append(s.samplers, &latencySampler{core: core, window: window})
+		}
+	}
 	return nil
 }
 
-// LatencySeries returns the samples collected during the run.
+// LatencySeries returns the samples collected during the run for the first
+// sampled core (the single-core form predating SampleLatencyCores).
 func (s *System) LatencySeries() []LatencySample {
-	return append([]LatencySample(nil), s.samples...)
+	if len(s.samplers) == 0 {
+		return nil
+	}
+	return append([]LatencySample(nil), s.samplers[0].samples...)
 }
 
-// startSampler schedules the first sample; called from Run.
-func (s *System) startSampler() {
-	if !s.samplerOn {
-		return
+// LatencySeriesFor returns the samples collected for one core (nil when the
+// core was not sampled).
+func (s *System) LatencySeriesFor(core int) []LatencySample {
+	for _, sm := range s.samplers {
+		if sm.core == core {
+			return append([]LatencySample(nil), sm.samples...)
+		}
 	}
-	s.at(s.samplerWindow, s.samplerTick)
+	return nil
+}
+
+// SampledCores lists the cores with samplers attached, in attachment order.
+func (s *System) SampledCores() []int {
+	out := make([]int, 0, len(s.samplers))
+	for _, sm := range s.samplers {
+		out = append(out, sm.core)
+	}
+	return out
+}
+
+// startSampler schedules the first sample of every sampler; called from Run.
+func (s *System) startSampler() {
+	for _, sm := range s.samplers {
+		sm := sm
+		s.at(sm.window, func(now int64) { s.samplerTick(sm, now) })
+	}
 }
 
 // samplerTick records one point and reschedules while the core is active.
-func (s *System) samplerTick(now int64) {
-	cum := s.run.Cores[s.samplerCore].TotalLatency
+func (s *System) samplerTick(sm *latencySampler, now int64) {
+	cum := s.run.Cores[sm.core].TotalLatency
 	prev := int64(0)
-	if n := len(s.samples); n > 0 {
-		prev = s.samples[n-1].Cumulative
+	if n := len(sm.samples); n > 0 {
+		prev = sm.samples[n-1].Cumulative
 	}
-	s.samples = append(s.samples, LatencySample{
+	sm.samples = append(sm.samples, LatencySample{
 		At:         now,
 		Cumulative: cum,
 		Window:     cum - prev,
 		Mode:       s.mode,
 	})
-	if !s.cores[s.samplerCore].finished {
-		s.at(now+s.samplerWindow, s.samplerTick)
+	if s.rec != nil {
+		s.rec.Count(obs.PidSim, simTidCore(sm.core), "cum latency", now, cum)
+		s.rec.Count(obs.PidSim, simTidCore(sm.core), "window latency", now, cum-prev)
+	}
+	if !s.cores[sm.core].finished {
+		s.at(now+sm.window, func(n int64) { s.samplerTick(sm, n) })
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"cohort/internal/config"
 	"cohort/internal/invariant"
 	"cohort/internal/memctrl"
+	"cohort/internal/obs"
 	"cohort/internal/sim"
 	"cohort/internal/stats"
 	"cohort/internal/trace"
@@ -71,16 +72,23 @@ type System struct {
 	inv    *invariant.Checker // nil unless cfg.CheckInvariants
 	invErr error              // first invariant violation, latched
 
-	modeSwitches  []scheduledSwitch
-	tracer        Tracer
-	samplerOn     bool
-	samplerCore   int
-	samplerWindow int64
-	samples       []LatencySample
-	governor      *Governor
-	governorLog   []GovernorDecision
-	governorLast  int64
-	ran           bool
+	modeSwitches []scheduledSwitch
+	tracer       Tracer
+	samplers     []*latencySampler
+	governor     *Governor
+	governorLog  []GovernorDecision
+	governorLast int64
+	ran          bool
+
+	// Observability (internal/obs). metrics and rec stay nil unless
+	// SetMetrics/SetRecorder are called, keeping the unobserved hot path
+	// allocation-free; the timer-window counters are plain value fields and
+	// count unconditionally (an integer add each).
+	metrics           *obs.Registry
+	rec               *obs.Recorder
+	missStart         []int64 // per-core miss-start cycle for recorder spans
+	timerWindows      obs.Counter
+	timerWindowCycles obs.Counter
 }
 
 type scheduledSwitch struct {

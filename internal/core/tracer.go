@@ -70,9 +70,12 @@ func (s *System) SetTracer(t Tracer) error {
 	return nil
 }
 
-// emit delivers an event to the attached tracer, if any.
+// emit delivers an event to the attached tracer and span recorder, if any.
 func (s *System) emit(ev TraceEvent) {
 	if s.tracer != nil {
 		s.tracer.Trace(ev)
+	}
+	if s.rec != nil {
+		s.recordEvent(ev)
 	}
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"cohort/internal/obs"
 )
 
 // Each runner must render byte-identical output under the forced-serial path
@@ -150,6 +152,69 @@ func TestRunnersSerialParallelEquivalence(t *testing.T) {
 
 				if serial != par {
 					t.Fatalf("seed %d: -j 1 and -j 8 output differ\n--- j1 ---\n%s\n--- j8 ---\n%s", seed, serial, par)
+				}
+			}
+		})
+	}
+}
+
+// TestMetricsSerialParallelEquivalence asserts the observability layer obeys
+// the same contract as the rendered output: with a fresh Registry and Recorder
+// attached, every runner must produce byte-identical metrics snapshots and
+// Chrome trace exports at -j 1 and -j 8. Runners publish post-hoc (after the
+// parallel fan-out is reduced), so worker scheduling must never leak into
+// either artifact.
+func TestMetricsSerialParallelEquivalence(t *testing.T) {
+	type observed struct {
+		render  string
+		metrics string
+		trace   string
+	}
+	runObserved := func(rc runnerCase, o Options) (observed, error) {
+		reg := obs.NewRegistry()
+		rec := obs.NewRecorder()
+		o.Metrics, o.Recorder = reg, rec
+		out, err := rc.run(o)
+		if err != nil {
+			return observed{}, err
+		}
+		var sb strings.Builder
+		if err := rec.WriteChrome(&sb); err != nil {
+			return observed{}, err
+		}
+		return observed{render: out, metrics: string(reg.Snapshot().JSON()), trace: sb.String()}, nil
+	}
+	seeds := []uint64{1, 42, 7777}
+	for _, rc := range runnerCases() {
+		rc := rc
+		t.Run(rc.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				o := equivalenceOptions(seed)
+
+				o.Jobs, o.GA.Workers = 1, 1
+				ResetMemo()
+				serial, err := runObserved(rc, o)
+				if err != nil {
+					t.Fatalf("seed %d -j 1: %v", seed, err)
+				}
+
+				o.Jobs, o.GA.Workers = 8, 8
+				ResetMemo()
+				par, err := runObserved(rc, o)
+				if err != nil {
+					t.Fatalf("seed %d -j 8: %v", seed, err)
+				}
+
+				if serial.metrics != par.metrics {
+					t.Fatalf("seed %d: metrics snapshots differ\n--- j1 ---\n%s\n--- j8 ---\n%s",
+						seed, serial.metrics, par.metrics)
+				}
+				if serial.trace != par.trace {
+					t.Fatalf("seed %d: chrome traces differ\n--- j1 ---\n%s\n--- j8 ---\n%s",
+						seed, serial.trace, par.trace)
+				}
+				if serial.render != par.render {
+					t.Fatalf("seed %d: rendered output differs under observation", seed)
 				}
 			}
 		})

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"cohort/internal/obs"
 	"cohort/internal/opt"
 	"cohort/internal/parallel"
 	"cohort/internal/trace"
@@ -39,6 +40,15 @@ type Options struct {
 	// path, anything below 1 selects runtime.NumCPU(). Every runner's result
 	// is byte-identical for every value.
 	Jobs int
+	// Metrics, when non-nil, receives each runner's deterministic summary
+	// metrics (figure/cell counters, headline ratios). Published post-hoc in
+	// coordinator order — never probed by racing cells — so snapshots are
+	// byte-identical for every Jobs value (see observe.go). The GA fields of
+	// the same name are stripped before memoized Optimize calls.
+	Metrics *obs.Registry
+	// Recorder, when non-nil, receives one span per completed figure on the
+	// obs.PidExperiments track, timestamped by figure sequence number.
+	Recorder *obs.Recorder
 }
 
 // jobs resolves the effective cell worker count.

@@ -5,6 +5,7 @@ import (
 
 	"cohort/internal/analysis"
 	"cohort/internal/config"
+	"cohort/internal/obs"
 	"cohort/internal/parallel"
 	"cohort/internal/stats"
 	"cohort/internal/trace"
@@ -108,6 +109,10 @@ func Fig5(o Options, scenarioName string) (*Fig5Result, error) {
 	}
 	res.PCCRatio = geomean(pccRatios)
 	res.PendulumRatio = geomean(pendRatios)
+	o.observeFigure("fig5/"+sc.Name, len(rows), func(reg *obs.Registry, lbl obs.Label) {
+		reg.FloatGauge("experiments_pcc_bound_ratio", lbl).Set(res.PCCRatio)
+		reg.FloatGauge("experiments_pendulum_bound_ratio", lbl).Set(res.PendulumRatio)
+	})
 	return res, nil
 }
 

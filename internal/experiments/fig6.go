@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cohort/internal/config"
+	"cohort/internal/obs"
 	"cohort/internal/parallel"
 	"cohort/internal/stats"
 )
@@ -87,6 +88,11 @@ func Fig6(o Options, scenarioName string) (*Fig6Result, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	res.AvgCoHoRT, res.AvgPCC, res.AvgPendulum = geomean(ch), geomean(pc), geomean(pd)
+	o.observeFigure("fig6/"+sc.Name, len(rows), func(reg *obs.Registry, lbl obs.Label) {
+		reg.FloatGauge("experiments_norm_exec_cohort", lbl).Set(res.AvgCoHoRT)
+		reg.FloatGauge("experiments_norm_exec_pcc", lbl).Set(res.AvgPCC)
+		reg.FloatGauge("experiments_norm_exec_pendulum", lbl).Set(res.AvgPendulum)
+	})
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"cohort/internal/analysis"
 	"cohort/internal/config"
 	"cohort/internal/core"
+	"cohort/internal/obs"
 	"cohort/internal/parallel"
 	"cohort/internal/stats"
 )
@@ -170,6 +171,10 @@ func Fig7(o Options, benchmark string, stage2Factor, stage3Factor float64) (*Fig
 	}
 	res.SimModeSwitches = run.ModeSwitches
 	res.SimFinalMode = sys.Mode()
+	o.observeFigure("fig7/"+benchmark, levels, func(reg *obs.Registry, lbl obs.Label) {
+		reg.Gauge("experiments_mode_switches", lbl).Set(int64(res.SimModeSwitches))
+		reg.Gauge("experiments_final_mode", lbl).Set(int64(res.SimFinalMode))
+	})
 	return res, nil
 }
 

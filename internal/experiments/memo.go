@@ -110,7 +110,12 @@ func optimizeTimers(o *Options, tr *trace.Trace, critical []bool) (*opt.Result, 
 		Streams: tr.Streams,
 		Timed:   critical,
 	}
-	r, err := opt.Optimize(prob, o.GA)
+	// Strip the observability hooks before the memoized call: a cache hit
+	// skips Optimize entirely, so anything it published would depend on memo
+	// state and racing cells. The harness publishes post-hoc instead.
+	ga := o.GA
+	ga.Metrics, ga.Recorder = nil, nil
+	r, err := opt.Optimize(prob, ga)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ package memctrl
 import (
 	"cohort/internal/cache"
 	"cohort/internal/config"
+	"cohort/internal/obs"
 )
 
 // LLC is the shared last-level cache controller.
@@ -22,7 +23,7 @@ type LLC struct {
 	// line is eventually installed by a fetch or a writeback.
 	bypassed map[uint64]bool
 
-	hits, misses, evictions, bypasses int64
+	hits, misses, evictions, bypasses obs.Counter
 }
 
 // New builds an LLC from its geometry. When perfect is true every fetch
@@ -51,26 +52,26 @@ func (l *LLC) Perfect() bool { return l.perfect }
 // from DRAM and the line is not cached at this level.
 func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) bool) (penalty int64, backInv []uint64) {
 	if l.perfect {
-		l.hits++
+		l.hits.Inc()
 		return 0, nil
 	}
 	if e := l.arr.Lookup(lineAddr); e != nil {
-		l.hits++
+		l.hits.Inc()
 		l.arr.Touch(e)
 		return 0, nil
 	}
-	l.misses++
+	l.misses.Inc()
 	victim := l.arr.VictimFor(lineAddr, func(e *cache.Entry) bool {
 		return pinned != nil && pinned(e.LineAddr)
 	})
 	if victim == nil {
 		// All ways hold timer-protected lines: serve around the LLC.
-		l.bypasses++
+		l.bypasses.Inc()
 		l.bypassed[lineAddr] = true
 		return l.dramLat, nil
 	}
 	if victim.Valid() {
-		l.evictions++
+		l.evictions.Inc()
 		backInv = append(backInv, victim.LineAddr)
 		l.arr.Invalidate(victim)
 	}
@@ -100,7 +101,7 @@ func (l *LLC) WriteBack(lineAddr uint64, now int64, pinned func(lineAddr uint64)
 		return nil
 	}
 	if victim.Valid() {
-		l.evictions++
+		l.evictions.Inc()
 		backInv = append(backInv, victim.LineAddr)
 		l.arr.Invalidate(victim)
 	}
@@ -125,5 +126,16 @@ func (l *LLC) Contains(lineAddr uint64) bool {
 
 // Stats returns the controller's counters.
 func (l *LLC) Stats() (hits, misses, evictions, bypasses int64) {
-	return l.hits, l.misses, l.evictions, l.bypasses
+	return l.hits.Value(), l.misses.Value(), l.evictions.Value(), l.bypasses.Value()
+}
+
+// RegisterMetrics exposes the controller's counters and occupancy through a
+// metrics registry (core.System.SetMetrics calls this). No-op on nil.
+func (l *LLC) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("llc_hits", &l.hits)
+	reg.RegisterCounter("llc_misses", &l.misses)
+	reg.RegisterCounter("llc_evictions", &l.evictions)
+	reg.RegisterCounter("llc_bypasses", &l.bypasses)
+	reg.RegisterFunc("llc_valid_lines", func() int64 { return int64(l.arr.CountValid()) })
+	reg.RegisterFunc("llc_bypassed_lines", func() int64 { return int64(len(l.bypassed)) })
 }

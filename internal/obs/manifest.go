@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cohort/internal/stats"
+)
+
+// ManifestSchema identifies the manifest document format. cohort-report
+// refuses documents with any other schema string.
+const ManifestSchema = "cohort/run-manifest/v1"
+
+// Clock abstracts wall-clock time so that it enters the repository in
+// exactly one place. Production code uses WallClock; tests inject
+// ManualClock so manifests are byte-reproducible.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock reads the real time. This is the only wall-clock read in the
+// repository; everything outside run manifests is simulated-cycle or
+// logical time (enforced by cohort-vet's walltime analyzer).
+type WallClock struct{}
+
+// Now returns the current wall-clock time.
+func (WallClock) Now() time.Time {
+	//cohort:allow walltime sole sanctioned wall-clock read; used only for run-manifest timestamps, never simulator state
+	return time.Now()
+}
+
+// ManualClock is a fixed-time Clock for tests and reproducible manifests.
+type ManualClock struct{ T time.Time }
+
+// Now returns the fixed time.
+func (m ManualClock) Now() time.Time { return m.T }
+
+// TraceRef names one input trace and its content fingerprint.
+type TraceRef struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Manifest describes one CLI invocation: what ran (tool, args, config
+// fingerprint, input traces, seed, workers), when and for how long (the
+// only wall-clock fields in the repository), and what it measured (engine
+// counters and the full metrics snapshot). Manifests are the unit of
+// comparison for cmd/cohort-report.
+type Manifest struct {
+	Schema      string             `json:"schema"`
+	Tool        string             `json:"tool"`
+	Args        []string           `json:"args,omitempty"`
+	ConfigKey   string             `json:"config_key"`
+	Traces      []TraceRef         `json:"traces,omitempty"`
+	Seed        int64              `json:"seed"`
+	Workers     int                `json:"workers"`
+	StartedAt   string             `json:"started_at"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Engine      *stats.EngineStats `json:"engine,omitempty"`
+	Metrics     Snapshot           `json:"metrics,omitempty"`
+	Notes       string             `json:"notes,omitempty"`
+}
+
+// NewManifest returns a manifest stamped with the schema, tool name and
+// start time read from clk.
+func NewManifest(tool string, clk Clock) *Manifest {
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Tool:      tool,
+		StartedAt: clk.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Finish records the elapsed wall time against the manifest's start time.
+func (m *Manifest) Finish(clk Clock) {
+	start, err := time.Parse(time.RFC3339, m.StartedAt)
+	if err != nil {
+		return
+	}
+	m.WallSeconds = clk.Now().UTC().Sub(start).Seconds()
+	if m.WallSeconds < 0 {
+		m.WallSeconds = 0
+	}
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the manifest against the schema contract; cohort-report
+// -check fails CI on the first violation.
+func (m *Manifest) Validate() error {
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("manifest: schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Tool == "" {
+		return fmt.Errorf("manifest: empty tool")
+	}
+	if m.ConfigKey == "" || !isHex(m.ConfigKey) {
+		return fmt.Errorf("manifest: config_key %q is not lowercase hex", m.ConfigKey)
+	}
+	if m.Workers < 1 {
+		return fmt.Errorf("manifest: workers %d < 1", m.Workers)
+	}
+	if _, err := time.Parse(time.RFC3339, m.StartedAt); err != nil {
+		return fmt.Errorf("manifest: started_at: %v", err)
+	}
+	if m.WallSeconds < 0 {
+		return fmt.Errorf("manifest: negative wall_seconds %g", m.WallSeconds)
+	}
+	for _, tr := range m.Traces {
+		if tr.Name == "" || tr.Fingerprint == "" || !isHex(tr.Fingerprint) {
+			return fmt.Errorf("manifest: bad trace ref %+v", tr)
+		}
+	}
+	for _, met := range m.Metrics {
+		switch met.Kind {
+		case KindCounter, KindGauge, KindFloat, KindHistogram:
+		default:
+			return fmt.Errorf("manifest: metric %q has unknown kind %q", met.Name, met.Kind)
+		}
+		if met.Name == "" {
+			return fmt.Errorf("manifest: metric with empty name")
+		}
+	}
+	return nil
+}
+
+// JSON renders the manifest as deterministic, indented JSON (trailing
+// newline included).
+func (m *Manifest) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FileName returns the manifest's deterministic file name:
+// <tool>-<key12>-j<workers>.manifest.json.
+func (m *Manifest) FileName() string {
+	key := m.ConfigKey
+	if len(key) > 12 {
+		key = key[:12]
+	}
+	if key == "" {
+		key = "run"
+	}
+	return fmt.Sprintf("%s-%s-j%d.manifest.json", m.Tool, key, m.Workers)
+}
+
+// Write validates the manifest and writes it into dir (created if needed)
+// under its deterministic file name, returning the full path.
+func (m *Manifest) Write(dir string) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := m.JSON()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, m.FileName())
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadManifest parses one manifest file and validates it.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &m, nil
+}
+
+// LoadDir reads every *.manifest.json in dir in sorted filename order.
+func LoadDir(dir string) ([]*Manifest, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var ms []*Manifest
+	for _, name := range names {
+		m, err := ReadManifest(name)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+// ShortKey abbreviates a hex config key for display.
+func ShortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return strings.TrimSpace(key)
+}

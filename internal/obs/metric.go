@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use, so components embed Counter by value and count into it
+// unconditionally — an Inc is an integer add whether or not a Registry ever
+// snapshots it. Counters are not internally synchronized: the simulator is
+// single-goroutine per System, and parallel engines publish per-run counters
+// only after the run completes.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds delta (negative deltas are ignored to keep counters monotonic).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v += delta
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is an integer metric that can move in either direction.
+// The zero value is ready to use.
+type Gauge struct {
+	v int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v += delta }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// FloatGauge is a float-valued gauge for derived ratios (geomeans, hit
+// rates). Float metrics are terminal outputs — they are never accumulated
+// across events, so cohort-vet's floataccum rules are not in play.
+type FloatGauge struct {
+	v float64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return g.v }
+
+// Label is one key=value dimension on a metric. Families of metrics (per
+// core, per benchmark) share a name and differ in labels.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelKey renders labels canonically (sorted by key) for registry keying
+// and snapshot ordering.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// sortedLabels returns a canonical (key-sorted) copy of labels.
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}

@@ -1,0 +1,34 @@
+// Package obs is the unified observability layer: a deterministic metrics
+// registry the simulator components publish into, a span/event recorder that
+// exports Chrome trace-event JSON (loadable in Perfetto or chrome://tracing),
+// and run manifests that make every CLI invocation a comparable, diffable
+// artifact (consumed by cmd/cohort-report).
+//
+// Determinism rules (DESIGN.md §10):
+//
+//   - Every metric value and every recorded event is derived from simulated
+//     cycles or logical step counts, never from the wall clock, goroutine
+//     identity, or map iteration order. Metric snapshots and exported traces
+//     are byte-identical for every worker count.
+//   - Wall-clock time exists only in run manifests (start time, wall
+//     seconds) and enters exclusively through the injected Clock, keeping
+//     the rest of the repository clean under cohort-vet's walltime analyzer.
+//   - Observability is pay-as-you-go: components count into plain value
+//     counters whether or not a Registry is attached (an integer add, no
+//     allocation), and the simulator's event hooks are nil-checked, so an
+//     unobserved run allocates exactly what it did before this package
+//     existed (guarded by BenchmarkSimulatorThroughput).
+package obs
+
+// Trace-event process IDs: each domain gets its own "process" row group in
+// the Perfetto UI. Timestamps are simulated cycles for PidSim and logical
+// step counts (generation index, figure sequence) for the others.
+const (
+	// PidSim is the cycle-accurate simulator (timestamps are cycles).
+	PidSim = 1
+	// PidOpt is the optimization engine (timestamps are generation indices).
+	PidOpt = 2
+	// PidExperiments is the experiment harness (timestamps are figure
+	// sequence numbers).
+	PidExperiments = 3
+)

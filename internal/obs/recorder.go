@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one Chrome trace-event. The exported JSON follows the trace
+// event format understood by Perfetto and chrome://tracing:
+//
+//	{"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ..., ...}]}
+//
+// Timestamps are in "microseconds", which this repository maps 1:1 to
+// simulated cycles (PidSim) or logical step indices (PidOpt,
+// PidExperiments) — never wall-clock time, so traces are deterministic.
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// phRank orders phase types within one timestamp so sorting is total.
+func phRank(ph string) int {
+	switch ph {
+	case "M":
+		return 0
+	case "X":
+		return 1
+	case "C":
+		return 2
+	case "i":
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Recorder collects trace events. It is safe for concurrent use; the
+// exported event stream is sorted into a total deterministic order, so the
+// bytes written by WriteChrome do not depend on arrival order or worker
+// count as long as the events themselves are deterministic.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) add(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Complete records a duration span [ts, ts+dur) on the (pid, tid) track.
+// Safe on a nil recorder.
+func (r *Recorder) Complete(pid, tid int, name, cat string, ts, dur int64, args map[string]string) {
+	r.add(Event{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant records a point event at ts on the (pid, tid) track. Safe on a
+// nil recorder.
+func (r *Recorder) Instant(pid, tid int, name, cat string, ts int64, args map[string]string) {
+	r.add(Event{Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t", Args: args})
+}
+
+// Count records a counter sample at ts; Perfetto renders counter tracks as
+// step charts. Safe on a nil recorder.
+func (r *Recorder) Count(pid, tid int, name string, ts, value int64) {
+	r.add(Event{Name: name, Ph: "C", Ts: ts, Pid: pid, Tid: tid,
+		Args: map[string]string{"value": fmt.Sprintf("%d", value)}})
+}
+
+// NameProcess attaches a human-readable name to a pid row group.
+// Safe on a nil recorder.
+func (r *Recorder) NameProcess(pid int, name string) {
+	r.add(Event{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]string{"name": name}})
+}
+
+// NameThread attaches a human-readable name to a (pid, tid) track.
+// Safe on a nil recorder.
+func (r *Recorder) NameThread(pid, tid int, name string) {
+	r.add(Event{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]string{"name": name}})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events in canonical order:
+// (Ts, Pid, Tid, phase rank, Name, Dur, Cat). Metadata events (Ph "M") have
+// Ts 0 and therefore lead the stream.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	evs := make([]Event, len(r.events))
+	copy(evs, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if phRank(a.Ph) != phRank(b.Ph) {
+			return phRank(a.Ph) < phRank(b.Ph)
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Dur != b.Dur {
+			return a.Dur < b.Dur
+		}
+		return a.Cat < b.Cat
+	})
+	return evs
+}
+
+// chromeTrace is the top-level Chrome trace-event JSON document.
+type chromeTrace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the trace as Chrome trace-event JSON, loadable at
+// https://ui.perfetto.dev (or chrome://tracing). The output is
+// deterministic: events are emitted in canonical order and map-valued args
+// are marshaled with sorted keys by encoding/json.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	doc := chromeTrace{TraceEvents: r.Events(), DisplayTimeUnit: "ns"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []Event{}
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Complete(PidSim, 0, "span", "bus", 10, 5, nil)
+	r.Instant(PidSim, 0, "inst", "mode", 3, nil)
+	r.Count(PidSim, 0, "ctr", 1, 2)
+	r.NameProcess(PidSim, "sim")
+	r.NameThread(PidSim, 0, "core0")
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder retained events")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents": []`)) {
+		t.Fatalf("nil recorder trace:\n%s", buf.String())
+	}
+}
+
+func TestRecorderOrderIndependent(t *testing.T) {
+	// The exported stream must not depend on arrival order: record the same
+	// events forwards and backwards and compare the bytes.
+	evs := []func(r *Recorder){
+		func(r *Recorder) { r.NameProcess(PidSim, "simulator") },
+		func(r *Recorder) { r.NameThread(PidSim, 1, "core1") },
+		func(r *Recorder) { r.Complete(PidSim, 1, "miss", "l1", 100, 40, nil) },
+		func(r *Recorder) { r.Complete(PidSim, 0, "bus", "bus", 100, 10, nil) },
+		func(r *Recorder) { r.Instant(PidSim, 1, "invalidate", "coh", 100, nil) },
+		func(r *Recorder) { r.Count(PidSim, 0, "mode", 140, 1) },
+	}
+	fwd, bwd := NewRecorder(), NewRecorder()
+	for i := range evs {
+		evs[i](fwd)
+		evs[len(evs)-1-i](bwd)
+	}
+	var a, b bytes.Buffer
+	if err := fwd.WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := bwd.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("export depends on arrival order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// Metadata (ts 0) leads; within ts 100 the lower tid sorts first.
+	out := fwd.Events()
+	if out[0].Ph != "M" || out[1].Ph != "M" {
+		t.Fatalf("metadata not first: %+v", out[:2])
+	}
+}
+
+func TestRecorderConcurrentAdds(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Complete(PidExperiments, w, "cell", "fig", int64(i), 1, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("lost events: %d", r.Len())
+	}
+}
+
+// TestChromeTraceGolden locks the Chrome trace-event JSON schema: field
+// names, phase types, metadata records, counter args, and document shape.
+// Refresh with: go test ./internal/obs -run ChromeTraceGolden -update
+func TestChromeTraceGolden(t *testing.T) {
+	r := NewRecorder()
+	r.NameProcess(PidSim, "cohort simulator")
+	r.NameThread(PidSim, 0, "bus")
+	r.NameThread(PidSim, 1, "core 0")
+	r.NameProcess(PidOpt, "cohort optimizer")
+	r.NameThread(PidOpt, 0, "ga")
+	r.Complete(PidSim, 0, "broadcast", "bus", 100, 40, map[string]string{"core": "0", "line": "0x40"})
+	r.Complete(PidSim, 1, "miss", "l1", 100, 160, map[string]string{"line": "0x40"})
+	r.Complete(PidSim, 1, "timer window", "coherence", 140, 300, map[string]string{"theta": "300"})
+	r.Instant(PidSim, 1, "invalidate", "coherence", 440, map[string]string{"line": "0x40"})
+	r.Instant(PidSim, 0, "mode switch", "mode", 500, map[string]string{"to": "HI"})
+	r.Count(PidSim, 0, "mode", 500, 1)
+	r.Complete(PidOpt, 0, "generation 0", "ga", 0, 1, map[string]string{"best": "123"})
+	r.Count(PidSim, 1, "cum latency", 512, 4096)
+
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden:\n got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	// Structural checks so the golden cannot silently encode a broken schema.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != r.Len() {
+		t.Fatalf("traceEvents has %d entries, recorded %d", len(doc.TraceEvents), r.Len())
+	}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s != "t" {
+				t.Fatalf("instant event missing thread scope: %v", ev)
+			}
+		case "C", "M":
+			if _, ok := ev["args"]; !ok {
+				t.Fatalf("%s event missing args: %v", ph, ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q: %v", ph, ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event missing pid: %v", ev)
+		}
+	}
+}

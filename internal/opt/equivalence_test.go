@@ -2,10 +2,12 @@ package opt
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"cohort/internal/analysis"
 	"cohort/internal/config"
+	"cohort/internal/obs"
 )
 
 // The deterministic-parallelism contract: Optimize and HillClimb return a
@@ -108,6 +110,42 @@ func TestOptimizeMemoCountersDeterministic(t *testing.T) {
 	}
 	if engines[0].hits == 0 {
 		t.Fatalf("memo-cache never hit across %d requests — elites alone must repeat", engines[0].jobs)
+	}
+}
+
+// TestOptimizeMetricsSnapshotEquivalence pins the observability side of the
+// contract: with a Registry and Recorder attached, the metrics snapshot and
+// the Chrome trace export must be byte-identical for every worker count.
+func TestOptimizeMetricsSnapshotEquivalence(t *testing.T) {
+	p := problemFor("fft", 0.01, []bool{true, true, false, false})
+	for _, seed := range equivalenceSeeds {
+		observe := func(workers int) (string, string) {
+			gc := DefaultGA(seed)
+			gc.Pop, gc.Generations = 10, 6
+			gc.Workers = workers
+			gc.Metrics = obs.NewRegistry()
+			gc.Recorder = obs.NewRecorder()
+			if _, err := Optimize(p, gc); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			var sb strings.Builder
+			if err := gc.Recorder.WriteChrome(&sb); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			return string(gc.Metrics.Snapshot().JSON()), sb.String()
+		}
+		serialM, serialT := observe(1)
+		parM, parT := observe(8)
+		if serialM != parM {
+			t.Errorf("seed %d: metrics snapshots differ across worker counts\n--- j1 ---\n%s\n--- j8 ---\n%s",
+				seed, serialM, parM)
+		}
+		if serialT != parT {
+			t.Errorf("seed %d: GA chrome traces differ across worker counts", seed)
+		}
+		if !strings.Contains(serialT, "generation 0") {
+			t.Errorf("seed %d: recorder captured no generation spans:\n%s", seed, serialT)
+		}
 	}
 }
 

@@ -19,9 +19,11 @@ package opt
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"cohort/internal/analysis"
 	"cohort/internal/config"
+	"cohort/internal/obs"
 	"cohort/internal/parallel"
 	"cohort/internal/stats"
 	"cohort/internal/trace"
@@ -344,6 +346,16 @@ type GAConfig struct {
 	// anything below 1 selects runtime.NumCPU(). The Result is byte-identical
 	// for every value.
 	Workers int
+	// Metrics, when non-nil, receives the optimizer's end-of-run counters
+	// (runs, evaluations, memo-engine totals, best fitness). Purely
+	// observational: it never affects the Result. The experiment harness
+	// strips it before memoized Optimize calls so cached and fresh results
+	// publish identically.
+	Metrics *obs.Registry
+	// Recorder, when non-nil, receives one span per GA generation
+	// (timestamped by generation index under obs.PidOpt). Purely
+	// observational, like Metrics.
+	Recorder *obs.Recorder
 }
 
 // DefaultGA returns the parameters used by the experiment harness.
@@ -406,6 +418,7 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 		res.Timers = timers
 		res.Eval = ev
 		res.Evaluations = 1
+		publishMetrics(gc.Metrics, res)
 		return res, nil
 	}
 
@@ -542,11 +555,38 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 			}
 		}
 		res.BestHistory = append(res.BestHistory, best.fit)
+		if gc.Recorder != nil {
+			gc.Recorder.Complete(obs.PidOpt, 0, fmt.Sprintf("generation %d", gen), "ga",
+				int64(gen), 1, map[string]string{
+					"best_fitness": strconv.FormatFloat(best.fit, 'g', -1, 64),
+					"children":     strconv.Itoa(len(pop) - gc.Elite),
+				})
+		}
 	}
 
 	res.Timers = p.Timers(best.genes)
 	res.Eval = best.ev
 	res.Evaluations = oracle.computed
 	res.Engine = oracle.cache.Stats()
+	publishMetrics(gc.Metrics, res)
 	return res, nil
+}
+
+// publishMetrics folds one Optimize run's counters into a registry. The
+// counters accumulate across runs sharing the registry; the gauges describe
+// the most recent run. Callers invoke Optimize in a deterministic order, so
+// the published totals are deterministic too. No-op on a nil registry.
+func publishMetrics(reg *obs.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("opt_runs_total").Inc()
+	reg.Counter("opt_evaluations_total").Add(int64(res.Evaluations))
+	reg.Counter("opt_engine_jobs_total").Add(res.Engine.Jobs)
+	reg.Counter("opt_engine_cache_hits_total").Add(res.Engine.CacheHits)
+	reg.Counter("opt_engine_cache_misses_total").Add(res.Engine.CacheMisses)
+	reg.Gauge("opt_generations").Set(int64(len(res.BestHistory)))
+	if n := len(res.BestHistory); n > 0 {
+		reg.FloatGauge("opt_best_fitness").Set(res.BestHistory[n-1])
+	}
 }

@@ -66,13 +66,32 @@ func (h *Histogram) Percentile(p float64) int64 {
 				return 0
 			}
 			upper := int64(1)<<uint(b) - 1
-			if upper > h.max {
+			// The overflow bucket has no finite edge; its only valid upper
+			// bound is the observed max. Finite buckets cap at max too.
+			if b == histBuckets-1 || upper > h.max {
 				upper = h.max
 			}
 			return upper
 		}
 	}
 	return h.max
+}
+
+// Merge accumulates other's samples into h. Bucket counts and totals add
+// exactly; the merged max is the larger of the two, so Percentile keeps its
+// upper-bound guarantee on the union of the sample sets. Merging an empty
+// histogram (or a nil one) is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for b := 0; b < histBuckets; b++ {
+		h.counts[b] += other.counts[b]
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
 }
 
 // Buckets returns the non-empty buckets as (upperBound, count) pairs in

@@ -103,6 +103,92 @@ func TestPropertyHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramMergeEmpty(t *testing.T) {
+	var h, empty Histogram
+	h.Observe(5)
+	h.Merge(&empty) // empty right-hand side: no-op
+	h.Merge(nil)    // nil right-hand side: no-op
+	if h.Total() != 1 || h.Max() != 5 {
+		t.Fatalf("merge with empty changed state: total %d max %d", h.Total(), h.Max())
+	}
+	empty.Merge(&h) // empty left-hand side adopts h
+	if empty.Total() != 1 || empty.Max() != 5 || empty.Percentile(1) != 5 {
+		t.Fatalf("merge into empty: total %d max %d", empty.Total(), empty.Max())
+	}
+}
+
+func TestHistogramMergeSingleBucket(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 3; i++ {
+		a.Observe(40) // bucket ≤63
+	}
+	for i := 0; i < 2; i++ {
+		b.Observe(63) // same bucket, larger max
+	}
+	a.Merge(&b)
+	uppers, counts := a.Buckets()
+	if len(uppers) != 1 || uppers[0] != 63 || counts[0] != 5 {
+		t.Fatalf("merged buckets = %v/%v, want [63]/[5]", uppers, counts)
+	}
+	if a.Total() != 5 || a.Max() != 63 {
+		t.Fatalf("merged total %d max %d", a.Total(), a.Max())
+	}
+	// Percentile caps at the merged max, not the 2^6−1 bucket edge minus one
+	// sample's worth of slack.
+	if p := a.Percentile(1); p != 63 {
+		t.Fatalf("merged p100 = %d, want 63", p)
+	}
+}
+
+func TestHistogramMergeOverflowBucket(t *testing.T) {
+	const huge = int64(1) << 45 // beyond the last bucket edge: clamps to bucket 40
+	var a, b Histogram
+	a.Observe(huge)
+	b.Observe(2 * huge)
+	b.Observe(7)
+	a.Merge(&b)
+	if a.Total() != 3 || a.Max() != 2*huge {
+		t.Fatalf("overflow merge: total %d max %d", a.Total(), a.Max())
+	}
+	// Both huge samples share the overflow bucket; its reported upper bound
+	// is capped at the observed max by Percentile.
+	if p := a.Percentile(1); p != 2*huge {
+		t.Fatalf("overflow p100 = %d, want %d", p, 2*huge)
+	}
+	uppers, counts := a.Buckets()
+	if len(uppers) != 2 || counts[len(counts)-1] != 2 {
+		t.Fatalf("overflow buckets = %v/%v", uppers, counts)
+	}
+}
+
+// Property: merge is equivalent to observing the concatenated sample sets.
+func TestPropertyHistogramMerge(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var a, b, both Histogram
+		for _, x := range xs {
+			a.Observe(int64(x))
+			both.Observe(int64(x))
+		}
+		for _, y := range ys {
+			b.Observe(int64(y))
+			both.Observe(int64(y))
+		}
+		a.Merge(&b)
+		if a.Total() != both.Total() || a.Max() != both.Max() {
+			return false
+		}
+		for _, p := range []float64{0.25, 0.5, 0.99, 1} {
+			if a.Percentile(p) != both.Percentile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCoreRecordsHistogram(t *testing.T) {
 	var c Core
 	c.RecordAccess(true, 1)
