@@ -33,4 +33,7 @@ go run ./cmd/cohort-bench -run fig5a -j 1 -scale 0.01 -cap 800 -benches fft,wate
 go run ./cmd/cohort-bench -run fig5a -j 8 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
 go run ./cmd/cohort-report -dir "$obsdir" -check >/dev/null
 
+echo "==> cohort-model -smoke (exhaustive closure at depth 4)"
+go run ./cmd/cohort-model -smoke -depth 4 -q -out "$obsdir/counterexample.txt"
+
 echo "==> all checks passed"

@@ -1,0 +1,224 @@
+// Command cohort-model exhaustively model-checks the CoHoRT protocol: it
+// enumerates every quiescent state reachable within a bounded number of
+// event windows on a small configuration, replaying each candidate schedule
+// through the real simulator with invariant checking enabled. A violation is
+// reported as a minimized counterexample script, written to -out, replayable
+// with -replay and renderable as a Perfetto trace with -chrome.
+//
+// Usage:
+//
+//	cohort-model -smoke                          # the CI tier (2 cores, 1 line, 2 modes)
+//	cohort-model -smoke -depth 3                 # deeper exploration
+//	cohort-model -smoke -mutate timer-release-skew -out cex.txt
+//	cohort-model -replay cex.txt -chrome cex.json
+//
+// Exit status: 0 when exploration (or replay) finds no violation, 1 when a
+// violation is found, 2 on usage or internal errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cohort/internal/config"
+	"cohort/internal/model"
+)
+
+func main() {
+	var (
+		smoke      = flag.Bool("smoke", false, "explore the smoke configuration (2 cores, 1 line, 2 modes, θ ∈ {−1,0,2,5})")
+		configFile = flag.String("config", "", "explore a platform from this config JSON file instead of -smoke")
+		lines      = flag.String("lines", "0x1000", "comma-separated byte addresses of the lines to exercise (with -config)")
+		depth      = flag.Int("depth", 2, "exploration depth in windows")
+		gaps       = flag.String("gaps", "", "override post-quiescence gap menu (comma-separated cycles)")
+		offsets    = flag.String("offsets", "", "override intra-window race offset menu (comma-separated cycles)")
+		noPairs    = flag.Bool("no-pairs", false, "disable two-command race windows (faster, shallower)")
+		noSym      = flag.Bool("no-symmetry", false, "disable symmetry reduction over identical cores")
+		maxStates  = flag.Int64("max-states", 0, "truncate after this many distinct states (0 = exhaustive)")
+		spillDir   = flag.String("spill-dir", "", "visited-set spill directory (default: temp)")
+		spillAt    = flag.Int("spill-threshold", 0, "in-memory visited keys before spilling to disk (default 1M)")
+		mutate     = flag.String("mutate", "", "arm a seeded protocol fault: "+strings.Join(model.MutationNames(), " | "))
+		out        = flag.String("out", "counterexample.txt", "write the minimized counterexample script here on violation")
+		replayFile = flag.String("replay", "", "replay a counterexample script instead of exploring")
+		chrome     = flag.String("chrome", "", "with -replay: write a Perfetto/Chrome trace of the replay here")
+		quiet      = flag.Bool("q", false, "suppress per-level progress")
+	)
+	flag.Parse()
+
+	if *mutate != "" {
+		if err := model.ApplyMutation(*mutate); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *replayFile != "" {
+		replay(*replayFile, *chrome)
+		return
+	}
+
+	var mcfg model.Config
+	switch {
+	case *smoke && *configFile != "":
+		fatal(fmt.Errorf("-smoke and -config are mutually exclusive"))
+	case *smoke:
+		mcfg = model.Smoke(*depth)
+	case *configFile != "":
+		raw, err := os.ReadFile(*configFile)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err := config.ParseJSON(raw)
+		if err != nil {
+			fatal(err)
+		}
+		addrs, err := parseU64List(*lines)
+		if err != nil {
+			fatal(err)
+		}
+		mcfg = model.Config{Sys: sys, Lines: addrs, Depth: *depth, Pairs: true, Symmetry: true}
+	default:
+		fmt.Fprintln(os.Stderr, "cohort-model: need -smoke, -config or -replay")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *gaps != "" {
+		v, err := parseI64List(*gaps)
+		if err != nil {
+			fatal(err)
+		}
+		mcfg.PostGaps = v
+	}
+	if *offsets != "" {
+		v, err := parseI64List(*offsets)
+		if err != nil {
+			fatal(err)
+		}
+		mcfg.RaceOffsets = v
+	}
+	if *noPairs {
+		mcfg.Pairs = false
+	}
+	if *noSym {
+		mcfg.Symmetry = false
+	}
+	mcfg.Depth = *depth
+	mcfg.MaxStates = *maxStates
+	mcfg.SpillDir = *spillDir
+	mcfg.SpillThreshold = *spillAt
+	if !*quiet {
+		mcfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	c, err := model.New(mcfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := c.Explore()
+	if err != nil {
+		fatal(err)
+	}
+	exhaustive := "exhaustive"
+	if res.Truncated {
+		exhaustive = "TRUNCATED"
+	}
+	fmt.Printf("cohort-model: %d states, %d runs, depth %d (%s), %d spills\n",
+		res.States, res.Runs, res.Depth, exhaustive, res.Spills)
+	if res.Violation == nil {
+		fmt.Println("cohort-model: no violations")
+		return
+	}
+	v := res.Violation
+	fmt.Printf("cohort-model: VIOLATION [%s]\n  %s\n  script:    %s\n  minimized: %s\n",
+		v.Kind, v.Err, model.Describe(v.Script), model.Describe(v.Minimized))
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := model.WriteScript(f, c.Sys(), c.Lines(), v.Minimized); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cohort-model: counterexample written to %s (replay with -replay %s)\n", *out, *out)
+	os.Exit(1)
+}
+
+// replay re-executes a counterexample script through a checker rebuilt from
+// the script's embedded configuration.
+func replay(path, chrome string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sys, lines, script, err := model.ParseScript(f)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := model.New(model.Config{Sys: sys, Lines: lines, Pairs: true})
+	if err != nil {
+		fatal(err)
+	}
+	var out *model.ReplayOutcome
+	if chrome != "" {
+		cf, err := os.Create(chrome)
+		if err != nil {
+			fatal(err)
+		}
+		out, err = c.ReplayChrome(script, cf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cohort-model: chrome trace written to %s (load at ui.perfetto.dev)\n", chrome)
+	} else {
+		out, err = c.Replay(script)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("cohort-model: replayed %s\n", model.Describe(script))
+	if out.Violation == nil {
+		fmt.Println("cohort-model: replay clean (no violation)")
+		return
+	}
+	fmt.Printf("cohort-model: VIOLATION [%s]\n  %s\n", out.Violation.Kind, out.Violation.Err)
+	os.Exit(1)
+}
+
+func parseU64List(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad address %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseI64List(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cycle count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cohort-model:", err)
+	os.Exit(2)
+}

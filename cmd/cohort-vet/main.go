@@ -2,7 +2,11 @@
 // over the simulator packages. The analyzers enforce the contract that makes
 // every simulation bit-reproducible: no map-order dependence, no wall-clock
 // reads, no global randomness, no concurrency inside event callbacks, and no
-// floating-point leakage into cycle arithmetic.
+// floating-point leakage into cycle arithmetic. Two further analyzers guard
+// the protocol and the suppressions themselves: exhaustive requires switches
+// over protocol enums to cover every member (or declare a default), and
+// allowdoc requires every //cohort:allow annotation to use the canonical
+// '//cohort:allow <analyzer>: <reason>' form with a registered analyzer.
 //
 // Usage:
 //
@@ -37,6 +41,7 @@ var contractPackages = map[string]bool{
 	"cohort/internal/trace":     true,
 	"cohort/internal/opt":       true,
 	"cohort/internal/invariant": true, // runs inside the simulator hot path
+	"cohort/internal/model":     true, // exhaustive exploration must be reproducible
 	// The observability layer feeds deterministic snapshots and traces; its
 	// sole sanctioned wall-clock read (obs.WallClock.Now, manifests only)
 	// carries a //cohort:allow annotation.

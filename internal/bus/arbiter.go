@@ -135,6 +135,9 @@ func (a *RR) Pick(_ int64, cands []Candidate) int {
 // Served implements Arbiter; RR rotates on grant instead.
 func (a *RR) Served(int) {}
 
+// Order exposes the current sequence for tests and state snapshots.
+func (a *RR) Order() []int { return append([]int(nil), a.order...) }
+
 // NextWake implements Arbiter.
 func (a *RR) NextWake(int64) int64 { return -1 }
 

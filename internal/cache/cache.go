@@ -8,6 +8,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // State is the MSI stable state of a cache line.
@@ -187,6 +188,23 @@ func (c *Cache) ForEach(fn func(*Entry)) {
 			}
 		}
 	}
+}
+
+// EntriesLRU returns the valid entries of set s ordered least-recently-used
+// first (ties broken by way index, which cannot occur for entries touched
+// through Touch). Callers needing a canonical view of replacement state use
+// the ordering rather than the raw use stamps, so two caches differing only
+// in absolute use-clock values compare equal.
+func (c *Cache) EntriesLRU(s int) []*Entry {
+	set := c.sets[s]
+	var out []*Entry
+	for w := range set {
+		if set[w].Valid() {
+			out = append(out, &set[w])
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].lastUse < out[j].lastUse })
+	return out
 }
 
 // CountValid returns the number of resident lines.

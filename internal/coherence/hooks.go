@@ -1,0 +1,14 @@
+package coherence
+
+// TestHooks injects seeded faults into the coherence mechanics for the
+// correctness tooling's mutation tests (and nothing else): each hook breaks
+// one rule so a test can prove the invariant checker and the exhaustive model
+// checker fail closed. All hooks default to off; production code must never
+// set them.
+var TestHooks struct {
+	// LUTLookupOffByOne makes ModeLUT.Lookup index the table at
+	// mode % Modes() instead of mode−1 — the classic off-by-one a 1-based
+	// table invites. With a two-mode LUT it swaps both entries, so every
+	// reachable mode switch programs the wrong θ.
+	LUTLookupOffByOne bool
+}

@@ -12,6 +12,8 @@ package coherence
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"cohort/internal/config"
 )
@@ -27,16 +29,48 @@ const MemOwner = -1
 // (replenishing whenever no remote requester waits); the line is released at
 // the first expiry at or after the request. For θ = −1 (MSI) and θ = 0
 // (no-cache) the line is released immediately.
+// The result saturates at math.MaxInt64 instead of wrapping: callers compare
+// release cycles with < and schedule events at them, so a wrapped (negative)
+// release would silently disable the timer protection.
 func ReleaseTime(fetched, req int64, theta config.Timer) int64 {
 	if !theta.Timed() {
 		return req
 	}
-	t := int64(theta)
+	t := uint64(int64(theta))
 	if req <= fetched {
-		return fetched + t
+		return satAdd(fetched, t)
 	}
-	k := (req - fetched + t - 1) / t // ceil((req-fetched)/θ)
-	return fetched + k*t
+	// req − fetched can exceed MaxInt64 when fetched is far in the negative
+	// range; two's-complement subtraction in uint64 is exact for req > fetched.
+	d := uint64(req) - uint64(fetched)
+	k := d / t // ceil((req-fetched)/θ), computed without the d+t-1 overflow
+	if d%t != 0 {
+		k++
+	}
+	hi, lo := bits.Mul64(k, t)
+	if hi != 0 {
+		return math.MaxInt64
+	}
+	return satAdd(fetched, lo)
+}
+
+// satAdd returns base + add saturated to math.MaxInt64.
+func satAdd(base int64, add uint64) int64 {
+	if base < 0 {
+		nb := uint64(-(base + 1)) + 1 // −base without overflowing MinInt64
+		if add < nb {
+			return base + int64(add) // stays negative: cannot overflow
+		}
+		rest := add - nb
+		if rest > math.MaxInt64 {
+			return math.MaxInt64
+		}
+		return int64(rest)
+	}
+	if add > uint64(math.MaxInt64)-uint64(base) {
+		return math.MaxInt64
+	}
+	return base + int64(add)
 }
 
 // CounterAction is the demultiplexer outcome of the Fig. 3 circuit for one
@@ -161,7 +195,11 @@ func (l *ModeLUT) Lookup(mode int) (config.Timer, error) {
 	if mode < 1 || mode > len(l.entries) {
 		return 0, fmt.Errorf("coherence: mode %d out of range [1,%d]", mode, len(l.entries))
 	}
-	return l.entries[mode-1], nil
+	idx := mode - 1
+	if TestHooks.LUTLookupOffByOne {
+		idx = mode % len(l.entries) // seeded fault (mutation tests only)
+	}
+	return l.entries[idx], nil
 }
 
 // Modes returns the number of modes the LUT covers.

@@ -161,10 +161,7 @@ func (s *System) refreshLine(line uint64, li *coherence.LineInfo, now int64) {
 	ready := base
 	if li.Owner != coherence.MemOwner && !li.OwnerReleased {
 		owner := s.cores[li.Owner]
-		rel := coherence.ReleaseTime(li.OwnerFetch, base, owner.theta)
-		if TestHooks.TimerReleaseSkew != 0 && owner.theta.Timed() {
-			rel += TestHooks.TimerReleaseSkew // seeded fault, mutation tests only
-		}
+		rel := OwnerReleaseAt(li.OwnerFetch, base, owner.theta)
 		if rel > ready {
 			ready = rel
 		}
@@ -186,7 +183,7 @@ func (s *System) refreshLine(line uint64, li *coherence.LineInfo, now int64) {
 				li.RemoveSharer(j)
 				continue
 			}
-			rel := coherence.ReleaseTime(e.FetchedAt, base, cj.theta)
+			rel := SharerReleaseAt(e.FetchedAt, base, cj.theta)
 			if rel > ready {
 				ready = rel
 			}
@@ -204,13 +201,8 @@ func (s *System) refreshLine(line uint64, li *coherence.LineInfo, now int64) {
 	}
 }
 
-// releaseOwner applies the owner's hand-over. A timed owner invalidates its
-// copy at timer expiry regardless of the request kind — if it kept a
-// timer-protected Shared copy after a remote load, a later remote store
-// would wait out the same core's timer twice, breaking Equation 1. An MSI
-// owner follows standard MSI: invalidate on a remote store, downgrade to
-// Shared on a remote load. The data waits in the transfer buffer until the
-// bus grant.
+// releaseOwner applies the owner's hand-over per the OwnerHandover rule
+// (rules.go). The data waits in the transfer buffer until the bus grant.
 func (s *System) releaseOwner(line uint64, li *coherence.LineInfo, write bool, now int64) {
 	if li.Owner == coherence.MemOwner || li.OwnerReleased {
 		return
@@ -220,19 +212,25 @@ func (s *System) releaseOwner(line uint64, li *coherence.LineInfo, write bool, n
 		if oc.theta.Timed() {
 			s.recordTimerWindow(oc.id, line, li.OwnerFetch, now)
 		}
-		if write || oc.theta != config.TimerMSI {
-			oc.l1.Invalidate(e)
-			s.run.Cores[oc.id].Invalidations++
-		} else if TestHooks.SkipMSIDowngrade {
-			// Seeded fault (mutation tests only): keep the stale Modified
-			// copy instead of downgrading it to Shared.
-		} else {
-			e.State = cache.Shared
-			li.AddSharer(oc.id)
-		}
+		s.applyHandover(oc, e, li, OwnerHandover(oc.theta, write))
 	}
 	li.OwnerReleased = true
 	li.OwnerReleasedAt = now
+}
+
+// applyHandover executes an OwnerHandover decision on the owner's copy.
+func (s *System) applyHandover(oc *coreState, e *cache.Entry, li *coherence.LineInfo, act HandoverAction) {
+	switch act {
+	case HandoverInvalidate:
+		oc.l1.Invalidate(e)
+		s.run.Cores[oc.id].Invalidations++
+	case HandoverDowngrade:
+		e.State = cache.Shared
+		li.AddSharer(oc.id)
+	case HandoverKeep:
+		// Seeded fault (TestHooks.SkipMSIDowngrade): the stale owned copy
+		// survives the remote request.
+	}
 }
 
 // scheduleOwnerRelease schedules releaseOwner at the computed expiry, guarded
@@ -256,6 +254,13 @@ func (s *System) scheduleOwnerRelease(line uint64, li *coherence.LineInfo, owner
 // invalidateSharer drops a Shared copy whose release time has passed.
 func (s *System) invalidateSharer(cj *coreState, line uint64, li *coherence.LineInfo) {
 	if e := cj.l1.Lookup(line); e != nil && e.State == cache.Shared {
+		if TestHooks.StaleSharerBitmask {
+			// Seeded fault (mutation tests only): clear the directory bit but
+			// leave the Shared copy in the cache — the sharer bitmask and the
+			// caches disagree, and the stale copy survives the remote store.
+			li.RemoveSharer(cj.id)
+			return
+		}
 		if cj.theta.Timed() {
 			s.recordTimerWindow(cj.id, line, e.FetchedAt, int64(s.eng.Now()))
 		}
@@ -320,16 +325,10 @@ func (s *System) finishData(c *coreState, m *missState, now int64) {
 	if prevOwner != coherence.MemOwner {
 		if prevOwner != c.id && !li.OwnerReleased {
 			// Owner not yet released (expiry aligned with the grant):
-			// apply the same hand-over rule as releaseOwner.
+			// apply the same OwnerHandover rule as releaseOwner.
 			po := s.cores[prevOwner]
 			if e := po.l1.Lookup(m.line); e != nil {
-				if m.write || po.theta != config.TimerMSI {
-					po.l1.Invalidate(e)
-					s.run.Cores[po.id].Invalidations++
-				} else {
-					e.State = cache.Shared
-					li.AddSharer(po.id)
-				}
+				s.applyHandover(po, e, li, OwnerHandover(po.theta, m.write))
 			}
 		}
 		// The memory observes the transfer (snarf) for loads, and always
@@ -352,16 +351,7 @@ func (s *System) finishData(c *coreState, m *missState, now int64) {
 		li.Sharers = 0
 	}
 	s.releaseBus()
-	st := cache.Modified
-	if !m.write {
-		st = cache.Shared
-		// MESI: a load served by the memory with no other cached copy
-		// fills Exclusive; the next store upgrades silently.
-		if s.cfg.Snoop == config.SnoopMESI && prevOwner == coherence.MemOwner && li.Sharers == 0 {
-			st = cache.Exclusive
-		}
-	}
-	s.completeMiss(c, m, st, now)
+	s.completeMiss(c, m, FillState(m.write, s.cfg.Snoop, prevOwner, li.Sharers), now)
 	if li.PendingInv() {
 		s.refreshLine(m.line, li, now)
 	}

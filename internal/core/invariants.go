@@ -44,19 +44,25 @@ func (s *System) HeadDataReady(line uint64) int64 {
 	return m.dataReadyAt
 }
 
-// TestHooks injects seeded protocol faults for the invariant checker's
+// TestHooks injects seeded protocol faults for the correctness tooling's
 // mutation tests (and nothing else): each hook breaks one hand-over rule so
-// a test can assert the checker fails closed at the exact cycle the fault
-// fires. Both hooks default to off; production code must never set them.
+// a test can assert the dynamic invariant checker and the exhaustive model
+// checker (internal/model) fail closed. All hooks default to off; production
+// code must never set them. A fourth seeded fault, LUTLookupOffByOne, lives
+// in coherence.TestHooks next to the ModeLUT it corrupts.
 var TestHooks struct {
-	// SkipMSIDowngrade makes releaseOwner keep an MSI owner's Modified copy
-	// intact on a remote load instead of downgrading it to Shared — the
-	// classic "stale dirty copy" coherence bug.
+	// SkipMSIDowngrade makes the OwnerHandover rule keep an MSI owner's
+	// Modified copy intact on a remote load instead of downgrading it to
+	// Shared — the classic "stale dirty copy" coherence bug.
 	SkipMSIDowngrade bool
 	// TimerReleaseSkew shifts every timed owner release by this many cycles
 	// (positive = late, breaking the WCML bound; negative = early, breaking
 	// the owner's own WCET protection).
 	TimerReleaseSkew int64
+	// StaleSharerBitmask makes invalidateSharer clear a sharer's directory
+	// bit without invalidating its cached Shared copy, so the bitmask and
+	// the caches disagree and the stale copy survives a remote store.
+	StaleSharerBitmask bool
 }
 
 // verifyInvariants sweeps the protocol invariants after a completed bus

@@ -75,7 +75,7 @@ func (s *System) SetMetrics(reg *obs.Registry) error {
 	reg.RegisterFunc("sim_contended_lines", func() int64 { return int64(len(s.contention)) })
 	reg.RegisterCounterFunc("sim_line_requests_total", func() int64 {
 		var total int64
-		//cohort:allow maprange order-independent integer sum over the contention map
+		//cohort:allow maprange: order-independent integer sum over the contention map
 		for _, lc := range s.contention {
 			total += lc.Requests
 		}
@@ -83,7 +83,7 @@ func (s *System) SetMetrics(reg *obs.Registry) error {
 	})
 	reg.RegisterCounterFunc("sim_line_handovers_total", func() int64 {
 		var total int64
-		//cohort:allow maprange order-independent integer sum over the contention map
+		//cohort:allow maprange: order-independent integer sum over the contention map
 		for _, lc := range s.contention {
 			total += lc.Handovers
 		}
@@ -91,7 +91,7 @@ func (s *System) SetMetrics(reg *obs.Registry) error {
 	})
 	reg.RegisterCounterFunc("sim_timer_stall_cycles_total", func() int64 {
 		var total int64
-		//cohort:allow maprange order-independent integer sum over the contention map
+		//cohort:allow maprange: order-independent integer sum over the contention map
 		for _, lc := range s.contention {
 			total += lc.TimerStalls
 		}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"cohort/internal/cache"
+	"cohort/internal/coherence"
+	"cohort/internal/config"
+)
+
+// This file isolates the pure transition rules of the heterogeneous protocol
+// — the decisions bus_txn.go applies to the directory and the private caches
+// — as side-effect-free functions over (timer, request kind, global line
+// state). The event-driven simulator calls them at the moment it mutates
+// state, and the exhaustive model checker (internal/model) explores the very
+// same simulator, so each rule exists exactly once in the tree: the checker
+// can only ever disagree with the simulator if a rule disagrees with itself.
+// The seeded-fault TestHooks thread through here so a mutation perturbs both
+// call sites of a rule identically.
+
+// HandoverAction is how an owner's private copy is disposed of when the line
+// is handed to a remote requester.
+type HandoverAction uint8
+
+const (
+	// HandoverInvalidate: the owner's copy dies. Timed owners always
+	// invalidate at expiry — keeping a timer-protected Shared copy after a
+	// remote load would make a later remote store wait out the same core's
+	// timer twice, breaking Equation 1. MSI owners invalidate on a remote
+	// store.
+	HandoverInvalidate HandoverAction = iota
+	// HandoverDowngrade: an MSI owner demotes its copy to Shared on a remote
+	// load (standard MSI) and registers as a sharer.
+	HandoverDowngrade
+	// HandoverKeep: the stale owned copy survives untouched. Only reachable
+	// under the seeded fault TestHooks.SkipMSIDowngrade.
+	HandoverKeep
+)
+
+// OwnerHandover returns the disposition of an owner copy held with timer
+// theta when a remote requester (write = store) takes the line over. Both
+// hand-over sites — releaseOwner at timer expiry and finishData when the
+// expiry lands on the grant itself — apply this one rule.
+func OwnerHandover(theta config.Timer, write bool) HandoverAction {
+	if write || theta != config.TimerMSI {
+		return HandoverInvalidate
+	}
+	if TestHooks.SkipMSIDowngrade {
+		return HandoverKeep // seeded fault (mutation tests only)
+	}
+	return HandoverDowngrade
+}
+
+// OwnerReleaseAt returns the cycle an unreleased owner that (re)fetched the
+// line at ownerFetch, running with timer theta, hands the line over for a
+// request that became visible at reqVisible — the Fig. 3 closed form.
+// TestHooks.TimerReleaseSkew shifts timed releases for mutation tests.
+func OwnerReleaseAt(ownerFetch, reqVisible int64, theta config.Timer) int64 {
+	rel := coherence.ReleaseTime(ownerFetch, reqVisible, theta)
+	if TestHooks.TimerReleaseSkew != 0 && theta.Timed() {
+		rel += TestHooks.TimerReleaseSkew // seeded fault (mutation tests only)
+	}
+	return rel
+}
+
+// SharerReleaseAt returns the cycle a timer-protected Shared copy fetched at
+// fetchedAt dies for a pending store whose request became visible at
+// reqVisible.
+func SharerReleaseAt(fetchedAt, reqVisible int64, theta config.Timer) int64 {
+	return coherence.ReleaseTime(fetchedAt, reqVisible, theta)
+}
+
+// FillState returns the state a requester installs after its data transfer
+// completes: Modified for a store; for a load, Shared — or, under MESI,
+// Exclusive when the memory served the line and no other cached copy remains.
+func FillState(write bool, snoop config.Snoop, prevOwner int, sharers uint64) cache.State {
+	if write {
+		return cache.Modified
+	}
+	if snoop == config.SnoopMESI && prevOwner == coherence.MemOwner && sharers == 0 {
+		return cache.Exclusive
+	}
+	return cache.Shared
+}

@@ -167,6 +167,34 @@ func (s *System) at(cycle int64, fn func(now int64)) {
 // Mode returns the current operating mode.
 func (s *System) Mode() int { return s.mode }
 
+// BusArbiter exposes the live arbiter instance (replaced on TDM mode
+// switches). The exhaustive model checker folds its rotation state into the
+// canonical state encoding; everyone else should treat it as read-only.
+func (s *System) BusArbiter() bus.Arbiter { return s.arb }
+
+// Quiescent reports whether the system has no in-flight protocol activity:
+// every core finished its stream with no outstanding miss, the bus is free,
+// and no directory line has waiters or an untransferred owner release. The
+// exhaustive model checker snapshots states only at quiescence, where this
+// must hold.
+func (s *System) Quiescent() bool {
+	for _, c := range s.cores {
+		if !c.finished || c.miss != nil {
+			return false
+		}
+	}
+	if s.busHeld {
+		return false
+	}
+	quiet := true
+	s.dir.ForEach(func(_ uint64, li *coherence.LineInfo) {
+		if li.HeadWaiter() != nil || li.OwnerReleased {
+			quiet = false
+		}
+	})
+	return quiet
+}
+
 // Config returns the system's (cloned) configuration.
 func (s *System) Config() *config.System { return s.cfg }
 
@@ -257,6 +285,14 @@ func (s *System) applyModeSwitch(now int64, mode int) {
 			panic(err) // LUT length was validated against Levels
 		}
 		c.theta = th
+		// The programmed register must equal the configured LUT entry,
+		// resolved through the raw per-mode slice rather than the ModeLUT
+		// hardware model — the predicate that catches a corrupted LUT path.
+		if s.inv != nil && s.invErr == nil {
+			if err := invariant.CheckModeSwitch(now, mode, c.id, s.cfg.Cores[c.id].TimerAt(mode), th); err != nil {
+				s.invErr = err
+			}
+		}
 		// Re-base timer epochs: resident lines start a fresh epoch under the
 		// new θ. For θ = −1 this makes them plain MSI lines immediately.
 		c.l1.ForEach(func(e *cache.Entry) { e.FetchedAt = now })
@@ -329,6 +365,9 @@ func (s *System) CheckCoherence() error {
 		modified := 0
 		for _, ci := range cs {
 			switch ci.state {
+			case cache.Invalid:
+				// Unreachable: ForEach yields valid entries only. Listed so
+				// the switch stays exhaustive over cache.State.
 			case cache.Modified, cache.Exclusive:
 				modified++
 				if li.Owner != ci.core {

@@ -61,6 +61,9 @@ const (
 	// KindTimerProtection: a countdown timer protected a line beyond its θ
 	// bound, or a release fired at a cycle other than the computed expiry.
 	KindTimerProtection
+	// KindModeSwitch: a mode switch programmed a timer register that
+	// disagrees with the core's configured Mode-Switch LUT entry.
+	KindModeSwitch
 )
 
 // String names the kind.
@@ -74,6 +77,8 @@ func (k Kind) String() string {
 		return "inclusion"
 	case KindTimerProtection:
 		return "timer-protection"
+	case KindModeSwitch:
+		return "mode-switch"
 	default:
 		return "invariant"
 	}
@@ -206,6 +211,9 @@ func (c *Checker) checkLine(now int64, line uint64, li *coherence.LineInfo, cs [
 			if !li.IsSharer(st.Core) {
 				return fail(KindSWMR, st.Core, "core holds S but is not registered as a sharer")
 			}
+		case cache.Invalid:
+			// Snapshots carry valid copies only; listed to keep the switch
+			// exhaustive over cache.State.
 		}
 	}
 	if owned > 1 {
@@ -285,6 +293,24 @@ func (c *Checker) protectionBound(now int64, line uint64, core int, fetched, req
 		Kind: KindTimerProtection, Cycle: now, Line: line, Core: core, States: cs,
 		Detail: fmt.Sprintf("copy fetched at %d with θ=%s still protected %d cycles past its bound %d (request visible at %d)",
 			fetched, theta, now-bound, bound, req),
+	}
+}
+
+// CheckModeSwitch validates one Mode-Switch LUT reprogramming event: at a
+// switch to mode, the core's timer register (got) must hold exactly the
+// configured LUT entry for that mode (want, read through the raw per-mode
+// config slice — deliberately not through the coherence.ModeLUT hardware
+// model, whose lookup path is what this predicate audits). The simulator
+// applies it at every executed switch; the exhaustive model checker replays
+// the same predicate at every reachable state, so the dynamic and static
+// checks cannot drift apart.
+func CheckModeSwitch(now int64, mode, core int, want, got config.Timer) *Error {
+	if got == want {
+		return nil
+	}
+	return &Error{
+		Kind: KindModeSwitch, Cycle: now, Core: core,
+		Detail: fmt.Sprintf("switch to mode %d programmed θ=%s, LUT entry specifies θ=%s", mode, got, want),
 	}
 }
 

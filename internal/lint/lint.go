@@ -15,11 +15,12 @@
 //	go run ./cmd/cohort-vet ./...
 //
 // A diagnostic can be suppressed where the flagged construct is provably
-// order-insensitive by annotating the preceding line with
+// order-insensitive by annotating the flagged (or preceding) line with
 //
-//	//cohort:allow <analyzer-name> <reason>
+//	//cohort:allow <analyzer-name>: <reason>
 //
-// The reason is mandatory by convention (reviewed, not machine-checked).
+// The form — a registered analyzer name, the colon, a non-empty reason — is
+// machine-checked by the allowdoc analyzer.
 package lint
 
 import (
@@ -86,14 +87,10 @@ func (p *Pass) buildAllowIndex() {
 					continue
 				}
 				fields := strings.Fields(strings.TrimPrefix(text, "cohort:allow"))
-				match := false
-				for _, fd := range fields {
-					if fd == p.Analyzer.Name {
-						match = true
-						break
-					}
-				}
-				if !match {
+				// The canonical form is "cohort:allow <analyzer>: <reason>"
+				// (enforced by the allowdoc analyzer); the bare-name legacy
+				// form still matches so a migration cannot un-suppress.
+				if len(fields) == 0 || strings.TrimSuffix(fields[0], ":") != p.Analyzer.Name {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
@@ -118,6 +115,8 @@ func Analyzers() []*Analyzer {
 		GlobalRandAnalyzer,
 		EventGoroutineAnalyzer,
 		FloatAccumAnalyzer,
+		ExhaustiveAnalyzer,
+		AllowDocAnalyzer,
 	}
 }
 

@@ -77,6 +77,8 @@ func TestWallTimeGolden(t *testing.T)       { golden(t, WallTimeAnalyzer, "wallt
 func TestGlobalRandGolden(t *testing.T)     { golden(t, GlobalRandAnalyzer, "globalrand") }
 func TestEventGoroutineGolden(t *testing.T) { golden(t, EventGoroutineAnalyzer, "eventgoroutine") }
 func TestFloatAccumGolden(t *testing.T)     { golden(t, FloatAccumAnalyzer, "floataccum") }
+func TestExhaustiveGolden(t *testing.T)     { golden(t, ExhaustiveAnalyzer, "exhaustive") }
+func TestAllowDocGolden(t *testing.T)       { golden(t, AllowDocAnalyzer, "allowdoc") }
 
 // TestAnalyzerMetadata pins the suite roster: names are unique, documented,
 // and stable (annotations reference them).
@@ -91,7 +93,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"maprange", "walltime", "globalrand", "eventgoroutine", "floataccum"} {
+	for _, want := range []string{"maprange", "walltime", "globalrand", "eventgoroutine", "floataccum", "exhaustive", "allowdoc"} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}
@@ -116,6 +118,7 @@ func TestRepositoryLintsClean(t *testing.T) {
 		"cohort/internal/trace",
 		"cohort/internal/opt",
 		"cohort/internal/invariant",
+		"cohort/internal/model",
 	}
 	pkgs, err := Load(targets...)
 	if err != nil {
@@ -145,7 +148,7 @@ func TestAllowAnnotationScope(t *testing.T) {
 		"package scope",
 		"import \"time\"",
 		"func f(m map[int]int) time.Time {",
-		"\t//cohort:allow maprange counting only",
+		"\t//cohort:allow maprange: counting only",
 		"\tfor range m {",
 		"\t}",
 		"\treturn time.Now()",
@@ -168,6 +171,33 @@ func TestAllowAnnotationScope(t *testing.T) {
 	}
 	if len(diags) != 1 {
 		t.Errorf("walltime diagnostics = %d, want 1 (annotation must not leak across analyzers)", len(diags))
+	}
+}
+
+// TestAllowDocEmptyReason covers the bare-reason diagnostic separately from
+// the golden (a `// want` marker appended to the annotation would itself
+// become the reason text).
+func TestAllowDocEmptyReason(t *testing.T) {
+	dir := t.TempDir()
+	src := strings.Join([]string{
+		"package reason",
+		"//cohort:allow walltime:",
+		"func f() {}",
+		"",
+	}, "\n")
+	if err := writeFile(filepath.Join(dir, "reason.go"), src); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "cohort/lint-testdata/reason")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(AllowDocAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no reason") {
+		t.Fatalf("empty-reason annotation diagnostics = %v, want one 'no reason' finding", diags)
 	}
 }
 

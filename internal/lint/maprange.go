@@ -11,7 +11,7 @@ import (
 //
 //   - the collect-then-sort idiom, where every statement in the loop body
 //     appends to slices that the enclosing function later sorts;
-//   - loops explicitly annotated //cohort:allow maprange <reason>, asserting
+//   - loops explicitly annotated //cohort:allow maprange: <reason>, asserting
 //     the body is order-insensitive (pure counting, set union, …).
 var MapRangeAnalyzer = &Analyzer{
 	Name: "maprange",
@@ -38,7 +38,7 @@ func runMapRange(pass *Pass) error {
 				return true
 			}
 			pass.Reportf(rs.Pos(), "range over map %s is non-deterministic; sort the keys first, "+
-				"or annotate the loop with //cohort:allow maprange <reason> if the body is order-insensitive",
+				"or annotate the loop with //cohort:allow maprange: <reason> if the body is order-insensitive",
 				typeLabel(rs.X))
 			return true
 		})

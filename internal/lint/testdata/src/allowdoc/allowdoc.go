@@ -1,0 +1,28 @@
+// Package allowdoc exercises the allowdoc analyzer: every //cohort:allow
+// annotation must name one registered analyzer, use a colon, and carry a
+// non-empty reason.
+package allowdoc
+
+func wellFormed(m map[int]int) int {
+	n := 0
+	//cohort:allow maprange: pure counting, order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+func legacyFormFlagged(m map[int]int) int {
+	n := 0
+	//cohort:allow maprange body only counts // want "malformed allow annotation"
+	for range m {
+		n++
+	}
+	return n
+}
+
+//cohort:allow mapramge: typo suppresses nothing // want "unknown analyzer \"mapramge\""
+func typoName() {}
+
+//cohort:allow: no analyzer named at all // want "malformed allow annotation"
+func noName() {}

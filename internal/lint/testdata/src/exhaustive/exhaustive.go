@@ -1,0 +1,115 @@
+// Package exhaustive exercises the exhaustive analyzer: switches over named
+// integer enum types must cover every declared member or carry a default.
+package exhaustive
+
+// State mirrors the shape of cache.State.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// Mode is a two-member enum.
+type Mode int
+
+const (
+	ModeA Mode = 1
+	ModeB Mode = 2
+)
+
+// Alias members share values; coverage is by value.
+type Alias uint8
+
+const (
+	AliasA Alias = 0
+	AliasB Alias = 0
+	AliasC Alias = 1
+)
+
+func full(s State) int {
+	switch s {
+	case Invalid:
+		return 0
+	case Shared:
+		return 1
+	case Exclusive:
+		return 2
+	case Modified:
+		return 3
+	}
+	return -1
+}
+
+func withDefault(s State) int {
+	switch s {
+	case Shared:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func missingMembers(s State) int {
+	switch s { // want "switch over State does not cover Exclusive, Invalid and has no default"
+	case Shared:
+		return 1
+	case Modified:
+		return 3
+	}
+	return 0
+}
+
+func missingOneOfTwo(m Mode) int {
+	switch m { // want "switch over Mode does not cover ModeB and has no default"
+	case ModeA:
+		return 1
+	}
+	return 0
+}
+
+func suppressed(s State) int {
+	//cohort:allow exhaustive: only owned states carry data in this helper
+	switch s {
+	case Exclusive, Modified:
+		return 1
+	}
+	return 0
+}
+
+func plainIntIsNotAnEnum(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func nonConstantCaseBailsOut(s, dynamic State) int {
+	switch s {
+	case dynamic:
+		return 1
+	}
+	return 0
+}
+
+func aliasCoverageByValue(a Alias) int {
+	switch a { // AliasA covers AliasB (same value); AliasC completes the set
+	case AliasA:
+		return 0
+	case AliasC:
+		return 1
+	}
+	return 0
+}
+
+func tagNotAnEnumExpression(s State, t State) bool {
+	// Comparison tags are bool-typed, never enums.
+	switch s == t {
+	case true:
+		return true
+	}
+	return false
+}

@@ -124,6 +124,11 @@ func (l *LLC) Contains(lineAddr uint64) bool {
 	return l.arr.Lookup(lineAddr) != nil
 }
 
+// Array exposes the underlying cache array for read-only state snapshots
+// (the exhaustive model checker's canonical encoding). In perfect mode the
+// array is unused and stays empty.
+func (l *LLC) Array() *cache.Cache { return l.arr }
+
 // Stats returns the controller's counters.
 func (l *LLC) Stats() (hits, misses, evictions, bypasses int64) {
 	return l.hits.Value(), l.misses.Value(), l.evictions.Value(), l.bypasses.Value()

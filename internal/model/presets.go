@@ -1,0 +1,25 @@
+package model
+
+import "cohort/internal/config"
+
+// Smoke returns the CI exploration tier: two cores over one line and two
+// criticality modes on the paper's default platform (RROF, perfect LLC,
+// 1/4/50 latencies), with LUTs covering all four timer archetypes — MSI
+// (θ=−1), no-cache (θ=0), and short timed epochs θ=2 and θ=5 whose residues
+// the gap menu fully cycles through. Exhaustive to the given depth; depth 2
+// explores every ordered pair of racing windows and completes in well under
+// a minute, which is the check.sh / CI budget.
+func Smoke(depth int) Config {
+	sys := config.PaperDefaults(2, 2)
+	sys.Cores[0].Criticality = 2
+	sys.Cores[0].TimerLUT = []config.Timer{2, config.TimerMSI}
+	sys.Cores[1].Criticality = 1
+	sys.Cores[1].TimerLUT = []config.Timer{config.TimerNoCache, 5}
+	return Config{
+		Sys:      sys,
+		Lines:    []uint64{0x1000},
+		Depth:    depth,
+		Pairs:    true,
+		Symmetry: true,
+	}
+}

@@ -1,0 +1,137 @@
+package model
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// visited is the explored-state set: canonical 16-byte keys held in memory
+// until a threshold, then flushed to immutable sorted segment files that are
+// binary-searched on lookup (a minimal LSM without compaction — exploration
+// only ever inserts). This keeps resident memory bounded at threshold×16
+// bytes no matter how large the reachable space grows.
+type visited struct {
+	mem    map[canonKey]struct{}
+	limit  int
+	dir    string
+	ownDir bool
+	segs   []*segment
+	spills int
+}
+
+type segment struct {
+	f *os.File
+	n int64 // record count
+}
+
+// newVisited builds a visited set spilling to dir ("" = fresh temp dir)
+// whenever the in-memory set reaches limit keys.
+func newVisited(limit int, dir string) (*visited, error) {
+	if limit < 1 {
+		limit = 1
+	}
+	v := &visited{mem: make(map[canonKey]struct{}), limit: limit, dir: dir}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "cohort-model-visited-")
+		if err != nil {
+			return nil, err
+		}
+		v.dir, v.ownDir = d, true
+	}
+	return v, nil
+}
+
+// Add inserts the key and reports whether it was absent.
+func (v *visited) Add(k canonKey) (bool, error) {
+	if _, ok := v.mem[k]; ok {
+		return false, nil
+	}
+	for _, seg := range v.segs {
+		hit, err := seg.contains(k)
+		if err != nil {
+			return false, err
+		}
+		if hit {
+			return false, nil
+		}
+	}
+	v.mem[k] = struct{}{}
+	if len(v.mem) >= v.limit {
+		if err := v.spill(); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// spill flushes the in-memory keys to a new sorted segment file.
+func (v *visited) spill() error {
+	keys := make([]canonKey, 0, len(v.mem))
+	for k := range v.mem { //cohort:allow maprange: keys are sorted immediately below, so map order never escapes
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i][:], keys[j][:]) < 0 })
+	path := filepath.Join(v.dir, fmt.Sprintf("seg-%04d.keys", v.spills))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(keys)*16)
+	for _, k := range keys {
+		buf = append(buf, k[:]...)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	v.segs = append(v.segs, &segment{f: f, n: int64(len(keys))})
+	v.spills++
+	v.mem = make(map[canonKey]struct{})
+	return nil
+}
+
+// contains binary-searches the sorted fixed-record segment.
+func (s *segment) contains(k canonKey) (bool, error) {
+	lo, hi := int64(0), s.n-1
+	var rec [16]byte
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		if _, err := s.f.ReadAt(rec[:], mid*16); err != nil {
+			return false, err
+		}
+		switch bytes.Compare(rec[:], k[:]) {
+		case 0:
+			return true, nil
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return false, nil
+}
+
+// Close releases the segment files and removes them (and the temp dir when
+// owned).
+func (v *visited) Close() error {
+	var first error
+	for _, seg := range v.segs {
+		name := seg.f.Name()
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := os.Remove(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	v.segs = nil
+	if v.ownDir {
+		if err := os.Remove(v.dir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

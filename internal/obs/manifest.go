@@ -30,7 +30,7 @@ type WallClock struct{}
 
 // Now returns the current wall-clock time.
 func (WallClock) Now() time.Time {
-	//cohort:allow walltime sole sanctioned wall-clock read; used only for run-manifest timestamps, never simulator state
+	//cohort:allow walltime: sole sanctioned wall-clock read; used only for run-manifest timestamps, never simulator state
 	return time.Now()
 }
 

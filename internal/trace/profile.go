@@ -235,7 +235,7 @@ func Summarize(t *Trace, lineBytes int) Summary {
 		cs.UniqueLines = len(seen)
 	}
 	s.DistinctLines = len(lineCores)
-	//cohort:allow maprange counting lines shared by all cores; order-insensitive
+	//cohort:allow maprange: counting lines shared by all cores; order-insensitive
 	for _, cores := range lineCores {
 		if len(cores) == len(t.Streams) && len(t.Streams) > 1 {
 			s.SharedToAll++
