@@ -31,6 +31,7 @@ func benchOptions() cohort.ExperimentOptions {
 func benchmarkFig5(b *testing.B, scenario string) {
 	o := benchOptions()
 	var last *cohort.Fig5Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := cohort.Fig5(o, scenario)
 		if err != nil {
@@ -57,6 +58,7 @@ func BenchmarkFig5c(b *testing.B) { benchmarkFig5(b, "1cr-3ncr") }
 func benchmarkFig6(b *testing.B, scenario string) {
 	o := benchOptions()
 	var last *cohort.Fig6Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := cohort.Fig6(o, scenario)
 		if err != nil {
@@ -86,6 +88,7 @@ func BenchmarkFig6c(b *testing.B) { benchmarkFig6(b, "1cr-3ncr") }
 func BenchmarkFig7(b *testing.B) {
 	o := benchOptions()
 	var last *cohort.Fig7Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := cohort.Fig7(o, "fft", 1.5, 1.8)
 		if err != nil {
@@ -108,6 +111,7 @@ func BenchmarkFig7(b *testing.B) {
 // Fig. 2a).
 func BenchmarkTable2(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cohort.Table2(o, "fft"); err != nil {
 			b.Fatal(err)
@@ -120,6 +124,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkAblationArbiter(b *testing.B) {
 	o := benchOptions()
 	o.Benchmarks = []string{"fft"}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationArbiter(o); err != nil {
 			b.Fatal(err)
@@ -132,6 +137,7 @@ func BenchmarkAblationArbiter(b *testing.B) {
 func BenchmarkAblationTransfer(b *testing.B) {
 	o := benchOptions()
 	o.Benchmarks = []string{"radix"}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationTransfer(o); err != nil {
 			b.Fatal(err)
@@ -144,6 +150,7 @@ func BenchmarkAblationTransfer(b *testing.B) {
 func BenchmarkAblationTimer(b *testing.B) {
 	o := benchOptions()
 	o.Benchmarks = []string{"fft"}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationTimer(o, nil); err != nil {
 			b.Fatal(err)
@@ -239,6 +246,7 @@ func BenchmarkGAGeneration(b *testing.B) {
 	gc := cohort.DefaultGA(1)
 	gc.Pop, gc.Generations = 16, 4
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cohort.Optimize(prob, gc); err != nil {
 			b.Fatal(err)
@@ -257,6 +265,7 @@ func BenchmarkStaticAnalysis(b *testing.B) {
 	tr := p.Generate(1, 64, 42)
 	base := cohort.PaperDefaults(4, 1)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cohort.GuaranteedHits(tr.Streams[0], base.L1, base.Lat, 300, base.Lat.SlotWidth())
 	}
@@ -270,6 +279,7 @@ func BenchmarkNonPerfect(b *testing.B) {
 	o := benchOptions()
 	o.Benchmarks = []string{"fft", "water"}
 	var last *experiments.NonPerfectResult
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.NonPerfect(o)
 		if err != nil {
@@ -290,6 +300,7 @@ func BenchmarkNonPerfect(b *testing.B) {
 func BenchmarkAblationSnoop(b *testing.B) {
 	o := benchOptions()
 	o.Benchmarks = []string{"lu"}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationSnoop(o); err != nil {
 			b.Fatal(err)

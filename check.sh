@@ -33,6 +33,10 @@ go run ./cmd/cohort-bench -run fig5a -j 1 -scale 0.01 -cap 800 -benches fft,wate
 go run ./cmd/cohort-bench -run fig5a -j 8 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
 go run ./cmd/cohort-report -dir "$obsdir" -check >/dev/null
 
+echo "==> perf smoke (bit-identical fingerprints vs pre-overhaul goldens)"
+go run ./cmd/cohort-report -dir "$obsdir" -fingerprints > "$obsdir/fingerprints.txt"
+diff cmd/cohort-report/testdata/perf-smoke.fingerprints "$obsdir/fingerprints.txt"
+
 echo "==> cohort-model -smoke (exhaustive closure at depth 4)"
 go run ./cmd/cohort-model -smoke -depth 4 -q -out "$obsdir/counterexample.txt"
 

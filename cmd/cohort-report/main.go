@@ -16,6 +16,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -61,10 +63,15 @@ type Report struct {
 }
 
 // TrajectoryEntry is one appended perf point: what ran and how long it took.
+// NumCPU/GoMaxProcs record the host's parallel capacity (optional, absent in
+// entries written before the fields existed) so that wall times are
+// self-explaining — e.g. workers=8 slower than workers=1 on a 1-CPU host.
 type TrajectoryEntry struct {
 	Tool        string             `json:"tool"`
 	ConfigKey   string             `json:"config_key"`
 	Workers     int                `json:"workers"`
+	NumCPU      int                `json:"num_cpu,omitempty"`
+	GoMaxProcs  int                `json:"gomaxprocs,omitempty"`
 	StartedAt   string             `json:"started_at"`
 	WallSeconds float64            `json:"wall_seconds"`
 	Engine      *stats.EngineStats `json:"engine,omitempty"`
@@ -91,6 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		asJSON   = fs.Bool("json", false, "emit the merged report as JSON instead of tables")
 		check    = fs.Bool("check", false, "strict mode for CI: require at least one manifest and fail on any determinism mismatch")
 		benchOut = fs.String("bench-out", "", "append every run's wall time to this perf-trajectory JSON file")
+		fpOnly   = fs.Bool("fingerprints", false, "emit one 'tool config_key metrics_sha256' line per group and nothing else (for golden comparison in CI)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +116,23 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	rep := merge(ms)
+
+	if *fpOnly {
+		// One line per (tool, config key) group: the config fingerprint plus a
+		// hash of the canonical metrics snapshot. A perf rewrite must leave
+		// these bytes unchanged — CI diffs the output against a golden file.
+		for _, g := range rep.Groups {
+			if !g.MetricsAgree {
+				return fmt.Errorf("fingerprints: %s runs with config %s disagree on metrics",
+					g.Tool, obs.ShortKey(g.ConfigKey))
+			}
+		}
+		for _, g := range rep.Groups {
+			sum := sha256.Sum256(metricsJSONFor(ms, g.Tool, g.ConfigKey))
+			fmt.Fprintf(stdout, "%s %s %s\n", g.Tool, g.ConfigKey, hex.EncodeToString(sum[:]))
+		}
+		return nil
+	}
 
 	if *asJSON {
 		b, err := json.MarshalIndent(rep, "", "  ")
@@ -132,6 +157,18 @@ func run(args []string, stdout io.Writer) error {
 				return fmt.Errorf("determinism violation: %s runs with config %s disagree on metrics",
 					g.Tool, obs.ShortKey(g.ConfigKey))
 			}
+		}
+	}
+	return nil
+}
+
+// metricsJSONFor returns the canonical metrics snapshot bytes of the first
+// manifest in the (tool, key) group; -fingerprints has already established
+// that every member of the group agrees byte-for-byte.
+func metricsJSONFor(ms []*obs.Manifest, tool, key string) []byte {
+	for _, m := range ms {
+		if m.Tool == tool && m.ConfigKey == key {
+			return m.Metrics.JSON()
 		}
 	}
 	return nil
@@ -240,6 +277,10 @@ func appendTrajectory(path string, ms []*obs.Manifest) error {
 			StartedAt:   m.StartedAt,
 			WallSeconds: m.WallSeconds,
 			Engine:      m.Engine,
+		}
+		if m.Host != nil {
+			e.NumCPU = m.Host.NumCPU
+			e.GoMaxProcs = m.Host.GoMaxProcs
 		}
 		if seen[trajID(e)] {
 			continue

@@ -83,11 +83,13 @@ func (a *RROF) Pick(_ int64, cands []Candidate) int {
 	return -1
 }
 
-// Served moves the core to the back of the sequence.
+// Served moves the core to the back of the sequence (in place; the sequence
+// is a permutation of fixed length, so no allocation is ever needed).
 func (a *RROF) Served(core int) {
 	for i, c := range a.order {
 		if c == core {
-			a.order = append(append(a.order[:i:i], a.order[i+1:]...), core)
+			copy(a.order[i:], a.order[i+1:])
+			a.order[len(a.order)-1] = core
 			return
 		}
 	}
@@ -124,7 +126,8 @@ func (a *RR) Name() string { return "rr" }
 func (a *RR) Pick(_ int64, cands []Candidate) int {
 	for i, core := range a.order {
 		if cands[core].Ready {
-			a.order = append(append(a.order[:i:i], a.order[i+1:]...), core)
+			copy(a.order[i:], a.order[i+1:])
+			a.order[len(a.order)-1] = core
 			a.grants.Inc()
 			return core
 		}

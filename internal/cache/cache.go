@@ -8,7 +8,6 @@ package cache
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 )
 
 // State is the MSI stable state of a cache line.
@@ -196,15 +195,31 @@ func (c *Cache) ForEach(fn func(*Entry)) {
 // the ordering rather than the raw use stamps, so two caches differing only
 // in absolute use-clock values compare equal.
 func (c *Cache) EntriesLRU(s int) []*Entry {
+	return c.AppendEntriesLRU(nil, s)
+}
+
+// AppendEntriesLRU appends the set's valid entries to dst in EntriesLRU
+// order and returns the extended slice. Passing a reused buffer (dst[:0])
+// makes the snapshot allocation-free; the insertion sort is stable, so ties
+// keep ascending way order exactly as sort.SliceStable did. Sets hold a
+// handful of ways, where insertion sort beats the generic sort outright.
+func (c *Cache) AppendEntriesLRU(dst []*Entry, s int) []*Entry {
 	set := c.sets[s]
-	var out []*Entry
+	base := len(dst)
 	for w := range set {
-		if set[w].Valid() {
-			out = append(out, &set[w])
+		if !set[w].Valid() {
+			continue
 		}
+		e := &set[w]
+		i := len(dst)
+		dst = append(dst, e)
+		for i > base && dst[i-1].lastUse > e.lastUse {
+			dst[i] = dst[i-1]
+			i--
+		}
+		dst[i] = e
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].lastUse < out[j].lastUse })
-	return out
+	return dst
 }
 
 // CountValid returns the number of resident lines.

@@ -63,14 +63,24 @@ func (li *LineInfo) Enqueue(w Waiter) error {
 			return fmt.Errorf("coherence: core %d already waiting for line", w.Core)
 		}
 	}
+	if li.Waiters == nil {
+		// First waiter ever on this line: size the FIFO for a typical core
+		// count up front so steady-state enqueues never reallocate (PopWaiter
+		// preserves the capacity).
+		li.Waiters = make([]Waiter, 0, 4)
+	}
 	li.Waiters = append(li.Waiters, w)
 	return nil
 }
 
-// PopWaiter removes and returns the oldest waiter.
+// PopWaiter removes and returns the oldest waiter. The shift-copy keeps the
+// slice anchored to its backing array (a reslice li.Waiters[1:] would walk
+// off the front and force a fresh allocation on every future enqueue).
 func (li *LineInfo) PopWaiter() Waiter {
 	w := li.Waiters[0]
-	li.Waiters = li.Waiters[1:]
+	n := len(li.Waiters) - 1
+	copy(li.Waiters, li.Waiters[1:])
+	li.Waiters = li.Waiters[:n]
 	return w
 }
 
@@ -94,45 +104,163 @@ func (li *LineInfo) SharerList(n int) []int {
 	return out
 }
 
-// Directory maps line addresses to their global coherence state.
+// dirSlot is one open-addressing table slot; empty iff li == nil (so address
+// 0 needs no sentinel).
+type dirSlot struct {
+	addr uint64
+	li   *LineInfo
+}
+
+const (
+	// dirInitSlots is the initial table size (power of two).
+	dirInitSlots = 256
+	// dirSlabLines is the LineInfo arena chunk size: records are allocated 64
+	// at a time from fixed-capacity slabs, so &slab[i] pointers stay stable
+	// across directory growth (callers hold *LineInfo across events).
+	dirSlabLines = 64
+	// dirHashMul is the Fibonacci-hashing multiplier (odd ⇒ bijective mod
+	// 2^k), spreading the low, often-sequential bits of line addresses.
+	dirHashMul = 0x9E3779B97F4A7C15
+)
+
+// Directory maps line addresses to their global coherence state. Lines are
+// only ever added (the protocol never forgets a line), which lets the table
+// be a simple linear-probe open-addressing map — no tombstones — in front of
+// a slab arena, with a one-entry cache absorbing the back-to-back Get/Peek
+// runs of a single transaction (coreWake → completeMiss → evictL1 touch the
+// same line several times in one event).
 type Directory struct {
-	lines map[uint64]*LineInfo
+	slots []dirSlot
+	mask  uint64
+	n     int
+
+	// addrs lists tracked addresses in insertion order; ForEach sorts it
+	// lazily (sorted tracks whether it is currently ascending), preserving
+	// the documented ascending-address iteration contract without a per-call
+	// copy-and-sort.
+	addrs  []uint64
+	sorted bool
+
+	arena []LineInfo // current slab (fixed cap; a full slab is abandoned to its pointers)
+
+	lastAddr uint64    // one-entry lookup cache
+	lastLI   *LineInfo // nil until the first hit
 }
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{lines: make(map[uint64]*LineInfo)}
+	return &Directory{
+		slots:  make([]dirSlot, dirInitSlots),
+		mask:   dirInitSlots - 1,
+		sorted: true,
+	}
 }
 
 // Get returns the LineInfo for lineAddr, creating a memory-owned record on
 // first touch.
 func (d *Directory) Get(lineAddr uint64) *LineInfo {
-	li, ok := d.lines[lineAddr]
-	if !ok {
-		li = &LineInfo{Owner: MemOwner}
-		d.lines[lineAddr] = li
+	if d.lastLI != nil && d.lastAddr == lineAddr {
+		return d.lastLI
 	}
-	return li
+	i := (lineAddr * dirHashMul) & d.mask
+	for {
+		s := &d.slots[i]
+		if s.li == nil {
+			li := d.insert(i, lineAddr)
+			d.lastAddr, d.lastLI = lineAddr, li
+			return li
+		}
+		if s.addr == lineAddr {
+			d.lastAddr, d.lastLI = lineAddr, s.li
+			return s.li
+		}
+		i = (i + 1) & d.mask
+	}
 }
 
 // Peek returns the LineInfo if it exists, without creating one.
-func (d *Directory) Peek(lineAddr uint64) *LineInfo { return d.lines[lineAddr] }
+func (d *Directory) Peek(lineAddr uint64) *LineInfo {
+	if d.lastLI != nil && d.lastAddr == lineAddr {
+		return d.lastLI
+	}
+	i := (lineAddr * dirHashMul) & d.mask
+	for {
+		s := &d.slots[i]
+		if s.li == nil {
+			return nil
+		}
+		if s.addr == lineAddr {
+			d.lastAddr, d.lastLI = lineAddr, s.li
+			return s.li
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// insert fills the empty slot found at index i with a fresh record for addr,
+// growing the table first when the next insert would cross 75% load.
+func (d *Directory) insert(i uint64, addr uint64) *LineInfo {
+	if (d.n+1)*4 > len(d.slots)*3 {
+		d.grow()
+		i = d.probeEmpty(addr)
+	}
+	li := d.alloc()
+	d.slots[i] = dirSlot{addr: addr, li: li}
+	d.n++
+	if d.sorted && len(d.addrs) > 0 && addr < d.addrs[len(d.addrs)-1] {
+		d.sorted = false
+	}
+	d.addrs = append(d.addrs, addr)
+	return li
+}
+
+// probeEmpty returns the index of the empty slot addr hashes to (addr is
+// known to be absent).
+func (d *Directory) probeEmpty(addr uint64) uint64 {
+	i := (addr * dirHashMul) & d.mask
+	for d.slots[i].li != nil {
+		i = (i + 1) & d.mask
+	}
+	return i
+}
+
+// grow doubles the table and reinserts every occupied slot.
+func (d *Directory) grow() {
+	old := d.slots
+	d.slots = make([]dirSlot, 2*len(old))
+	d.mask = uint64(len(d.slots) - 1)
+	for _, s := range old {
+		if s.li != nil {
+			d.slots[d.probeEmpty(s.addr)] = s
+		}
+	}
+}
+
+// alloc hands out the next LineInfo from the slab arena. Slabs have fixed
+// capacity, so the returned pointer is never invalidated by later allocs.
+func (d *Directory) alloc() *LineInfo {
+	if len(d.arena) == cap(d.arena) {
+		d.arena = make([]LineInfo, 0, dirSlabLines)
+	}
+	d.arena = append(d.arena, LineInfo{Owner: MemOwner})
+	return &d.arena[len(d.arena)-1]
+}
 
 // Len returns the number of tracked lines.
-func (d *Directory) Len() int { return len(d.lines) }
+func (d *Directory) Len() int { return d.n }
 
 // ForEach visits every tracked line in ascending address order. The sort
 // makes the visit order — and therefore any event the callback schedules —
 // identical between runs; mode switches iterate the directory on the hot
-// path, so this must never fall back to raw map order.
+// path, so this must never fall back to raw table order. Lines the callback
+// creates are not visited (matching the previous snapshot semantics).
 func (d *Directory) ForEach(fn func(lineAddr uint64, li *LineInfo)) {
-	addrs := make([]uint64, 0, len(d.lines))
-	for la := range d.lines {
-		addrs = append(addrs, la)
+	if !d.sorted {
+		sort.Slice(d.addrs, func(i, j int) bool { return d.addrs[i] < d.addrs[j] })
+		d.sorted = true
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, la := range addrs {
-		fn(la, d.lines[la])
+	for _, la := range d.addrs {
+		fn(la, d.Peek(la))
 	}
 }
 

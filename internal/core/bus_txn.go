@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cohort/internal/bus"
 	"cohort/internal/cache"
@@ -16,7 +17,9 @@ func (s *System) kickArbiter(now int64) {
 	if s.busHeld || s.busBusyUntil > now {
 		return // a kick is scheduled for the cycle the bus frees
 	}
-	cands := make([]bus.Candidate, len(s.cores))
+	// s.cands is preallocated in New and fully overwritten each round; the
+	// arbiters treat it as a read-only snapshot and never retain it.
+	cands := s.cands
 	anyPending := false
 	for i, c := range s.cores {
 		cand := bus.Candidate{Core: i, Critical: s.critical(i)}
@@ -61,16 +64,31 @@ func (s *System) isHeadWaiter(c *coreState, m *missState) bool {
 	return h != nil && h.Core == c.id
 }
 
-// scheduleKick schedules an arbitration round at the given cycle, once.
+// scheduleKick schedules an arbitration round at the given cycle, once. The
+// pending set holds only future cycles (bus release, arbiter wake, data
+// ready) and stays a handful of entries deep, so a linear scan over a small
+// slice replaces the old map without a hashing cost or per-entry allocation.
 func (s *System) scheduleKick(at int64) {
-	if s.kickScheduled[at] {
-		return
+	for _, t := range s.kickPending {
+		if t == at {
+			return
+		}
 	}
-	s.kickScheduled[at] = true
-	s.at(at, func(now int64) {
-		delete(s.kickScheduled, now)
-		s.kickArbiter(now)
-	})
+	s.kickPending = append(s.kickPending, at)
+	s.atEvent(at, evKick, 0, 0, 0)
+}
+
+// clearKick removes a fired kick cycle from the pending set (order-free
+// swap-remove; the set is membership-only).
+func (s *System) clearKick(now int64) {
+	for i, t := range s.kickPending {
+		if t == now {
+			last := len(s.kickPending) - 1
+			s.kickPending[i] = s.kickPending[last]
+			s.kickPending = s.kickPending[:last]
+			return
+		}
+	}
 }
 
 // occupyBus reserves the bus for dur cycles starting now and schedules the
@@ -95,7 +113,7 @@ func (s *System) grantBroadcast(c *coreState, m *missState, now int64) {
 	s.emit(TraceEvent{Cycle: now, Kind: EvBroadcast, Core: c.id, Line: m.line, Until: now + s.cfg.Lat.Req})
 	// finishBroadcast must run before the bus-free arbitration kick at the
 	// same cycle so a fused data phase can extend the occupancy first.
-	s.at(now+s.cfg.Lat.Req, func(n int64) { s.finishBroadcast(c, m, n) })
+	s.atEvent(now+s.cfg.Lat.Req, evFinishBroadcast, int32(c.id), 0, 0)
 	s.occupyBus(now, s.cfg.Lat.Req)
 }
 
@@ -173,7 +191,11 @@ func (s *System) refreshLine(line uint64, li *coherence.LineInfo, now int64) {
 		}
 	}
 	if head.Write {
-		for _, j := range li.SharerList(len(s.cores)) {
+		// Snapshot the bitmask up front (the loop body removes sharers) and
+		// iterate set bits ascending — same visit order as the old SharerList
+		// slice, without materializing it.
+		for mask := li.Sharers; mask != 0; mask &= mask - 1 {
+			j := bits.TrailingZeros64(mask)
 			if j == head.Core {
 				continue
 			}
@@ -239,16 +261,12 @@ func (s *System) applyHandover(oc *coreState, e *cache.Entry, li *coherence.Line
 // computed against; the invariant checker replays the computation at fire
 // time to pin the release to the exact Fig. 3 expiry.
 func (s *System) scheduleOwnerRelease(line uint64, li *coherence.LineInfo, owner int, fetchStamp int64, write bool, reqVisible, at int64) {
-	s.at(at, func(n int64) {
-		if li.Owner != owner || li.OwnerReleased || li.OwnerFetch != fetchStamp || !li.PendingInv() {
-			return
-		}
-		if li.HeadWaiter().Write != write {
-			return
-		}
-		s.checkTimerRelease(n, line, owner, fetchStamp, s.cores[owner].theta, reqVisible)
-		s.releaseOwner(line, li, write, n)
+	_ = li // the guard re-reads the line at fire time (firedOwnerRelease)
+	idx := s.allocTimerRec(timerRec{
+		line: line, fetchStamp: fetchStamp, reqVisible: reqVisible,
+		core: int32(owner), write: write,
 	})
+	s.atEvent(at, evOwnerRelease, 0, uint64(idx), 0)
 }
 
 // invalidateSharer drops a Shared copy whose release time has passed.
@@ -274,18 +292,11 @@ func (s *System) invalidateSharer(cj *coreState, line uint64, li *coherence.Line
 // scheduleSharerInvalidation schedules a guarded invalidation at the copy's
 // release time; reqVisible plays the same role as in scheduleOwnerRelease.
 func (s *System) scheduleSharerInvalidation(cj *coreState, line uint64, fetchStamp, reqVisible, at int64) {
-	s.at(at, func(n int64) {
-		e := cj.l1.Lookup(line)
-		if e == nil || e.State != cache.Shared || e.FetchedAt != fetchStamp {
-			return
-		}
-		li := s.dir.Get(line)
-		if !li.PendingInv() {
-			return
-		}
-		s.checkTimerRelease(n, line, cj.id, fetchStamp, cj.theta, reqVisible)
-		s.invalidateSharer(cj, line, li)
+	idx := s.allocTimerRec(timerRec{
+		line: line, fetchStamp: fetchStamp, reqVisible: reqVisible,
+		core: int32(cj.id),
 	})
+	s.atEvent(at, evSharerInval, 0, uint64(idx), 0)
 }
 
 // grantData puts the data transfer on the bus. Data comes cache-to-cache in
@@ -302,13 +313,13 @@ func (s *System) grantData(c *coreState, m *missState, now int64) {
 			dur = 2 * s.cfg.Lat.Data // write back to memory, then re-fetch
 		}
 	} else {
-		penalty, backInv := s.llc.Fetch(m.line, now, s.pinnedInL1)
+		penalty, backInv := s.llc.Fetch(m.line, now, s.pinnedFn)
 		dur += penalty
 		s.applyBackInvalidations(backInv, now)
 	}
 	s.run.Transactions++
 	s.emit(TraceEvent{Cycle: now, Kind: EvData, Core: c.id, Line: m.line, Until: now + dur})
-	s.at(now+dur, func(n int64) { s.finishData(c, m, n) })
+	s.atEvent(now+dur, evFinishData, int32(c.id), 0, 0)
 	s.occupyBus(now, dur)
 }
 
@@ -335,7 +346,7 @@ func (s *System) finishData(c *coreState, m *missState, now int64) {
 		// under the via-memory policy. Installing the line may victimize
 		// another LLC entry; inclusion demands its private copies die too.
 		if !m.write || s.cfg.Transfer == config.TransferViaMemory {
-			backInv := s.llc.WriteBack(m.line, now, s.pinnedInL1)
+			backInv := s.llc.WriteBack(m.line, now, s.pinnedFn)
 			s.applyBackInvalidations(backInv, now)
 		}
 	}
@@ -343,17 +354,21 @@ func (s *System) finishData(c *coreState, m *missState, now int64) {
 	li.OwnerReleased = false
 	if m.write {
 		// Stragglers' release times were ≤ the grant; force-drop them.
-		for _, j := range li.SharerList(len(s.cores)) {
-			if j != c.id {
+		// Bitmask snapshot, ascending — see refreshLine.
+		for mask := li.Sharers; mask != 0; mask &= mask - 1 {
+			if j := bits.TrailingZeros64(mask); j != c.id {
 				s.invalidateSharer(s.cores[j], m.line, li)
 			}
 		}
 		li.Sharers = 0
 	}
 	s.releaseBus()
+	// completeMiss resumes the core, which may start its next miss in the
+	// same per-core record — m must not be read after this call.
+	line := m.line
 	s.completeMiss(c, m, FillState(m.write, s.cfg.Snoop, prevOwner, li.Sharers), now)
 	if li.PendingInv() {
-		s.refreshLine(m.line, li, now)
+		s.refreshLine(line, li, now)
 	}
 	s.verifyInvariants(now)
 	s.kickArbiter(now)

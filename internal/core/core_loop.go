@@ -61,18 +61,14 @@ func (c *coreState) advanceIssue(now int64) {
 	}
 }
 
-// scheduleCoreWake schedules coreWake at the given cycle, deduplicating.
+// scheduleCoreWake schedules an evCoreWake at the given cycle, deduplicating
+// (the wakeAt check at dispatch lives in HandleEvent).
 func (s *System) scheduleCoreWake(c *coreState, at int64) {
 	if c.wakeAt == at {
 		return
 	}
 	c.wakeAt = at
-	s.at(at, func(now int64) {
-		if c.wakeAt == now {
-			c.wakeAt = -1
-		}
-		s.coreWake(c, now)
-	})
+	s.atEvent(at, evCoreWake, int32(c.id), 0, 0)
 }
 
 // completeHit finishes a private-cache hit at now + L_hit.
@@ -98,13 +94,16 @@ func (s *System) completeHit(c *coreState, a trace.Access, entry *cache.Entry, n
 // arbiter. For a store to a line the core holds in S (upgrade), the stale
 // copy is dropped when the broadcast completes.
 func (s *System) startMiss(c *coreState, a trace.Access, line uint64, entry *cache.Entry, now int64) {
-	c.miss = &missState{
+	// MSHR depth 1: the single per-core record is recycled in place rather
+	// than allocated per miss.
+	c.missBuf = missState{
 		line:        line,
 		write:       a.Kind == trace.Write,
 		wasShared:   entry != nil && entry.State == cache.Shared,
 		issuedAt:    now,
 		dataReadyAt: -1,
 	}
+	c.miss = &c.missBuf
 	if c.miss.wasShared {
 		s.run.Cores[c.id].Upgrades++
 	}
@@ -120,7 +119,7 @@ func (s *System) completeMiss(c *coreState, m *missState, st cache.State, now in
 		// θ = 0: serve the data without caching it.
 		if m.write {
 			li.Version++
-			backInv := s.llc.WriteBack(m.line, now, s.pinnedInL1)
+			backInv := s.llc.WriteBack(m.line, now, s.pinnedFn)
 			li.Owner = coherence.MemOwner
 			li.OwnerReleased = false
 			s.applyBackInvalidations(backInv, now)
@@ -169,7 +168,7 @@ func (s *System) evictL1(c *coreState, victim *cache.Entry, now int64) {
 		// Inclusion: re-installing the line may victimize another LLC
 		// entry whose private copies must die with it (applied below,
 		// after the victim itself leaves this L1).
-		backInv = s.llc.WriteBack(line, now, s.pinnedInL1)
+		backInv = s.llc.WriteBack(line, now, s.pinnedFn)
 		if li.Owner == c.id {
 			li.Owner = coherence.MemOwner
 			li.OwnerReleased = false

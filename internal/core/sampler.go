@@ -60,7 +60,14 @@ func (s *System) SampleLatencyCores(window int64, cores ...int) error {
 			}
 		}
 		if !replaced {
-			s.samplers = append(s.samplers, &latencySampler{core: core, window: window})
+			// Pre-size the series: runs of a few thousand windows are the
+			// common case (Fig. 7 sweeps), and growth from zero would double
+			// through the whole run.
+			s.samplers = append(s.samplers, &latencySampler{
+				core:    core,
+				window:  window,
+				samples: make([]LatencySample, 0, 256),
+			})
 		}
 	}
 	return nil

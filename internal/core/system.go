@@ -46,6 +46,7 @@ type coreState struct {
 	pos           int
 	nextEligible  int64 // earliest issue cycle of the next access
 	miss          *missState
+	missBuf       missState // backing for miss: MSHR depth 1 means one record per core, recycled in place
 	maxCompletion int64
 	finished      bool
 	wakeAt        int64 // scheduled coreWake cycle (-1 none)
@@ -64,10 +65,17 @@ type System struct {
 	run   *stats.Run
 	mode  int
 
-	busBusyUntil  int64
-	busHeld       bool // a transaction owner may still extend its tenure
-	kickScheduled map[int64]bool
-	contention    map[uint64]*LineContention
+	busBusyUntil int64
+	busHeld      bool    // a transaction owner may still extend its tenure
+	kickPending  []int64 // cycles with a scheduled evKick (bounded by cores+2; linear scan beats a map here)
+	contention   map[uint64]*LineContention
+
+	// Hot-path scratch, preallocated in New / pooled across events so the
+	// steady-state simulation loop performs no heap allocations.
+	cands     []bus.Candidate   // arbiter candidate snapshot, one slot per core
+	timerRecs []timerRec        // pooled owner-release / sharer-invalidation records
+	timerFree int32             // head of the timerRecs free list (-1 empty)
+	pinnedFn  func(uint64) bool // s.pinnedInL1 bound once (a method value allocates per use)
 
 	inv    *invariant.Checker // nil unless cfg.CheckInvariants
 	invErr error              // first invariant violation, latched
@@ -126,16 +134,25 @@ func New(cfg *config.System, tr *trace.Trace) (*System, error) {
 	}
 
 	s := &System{
-		cfg:           cfg,
-		eng:           sim.New(),
-		arb:           arb,
-		llc:           memctrl.New(cfg.LLC, cfg.PerfectLLC, cfg.Lat.DRAM),
-		dir:           coherence.NewDirectory(),
-		run:           stats.NewRun(cfg.N()),
-		mode:          cfg.Mode,
-		kickScheduled: make(map[int64]bool),
-		contention:    make(map[uint64]*LineContention),
+		cfg:        cfg,
+		eng:        sim.New(),
+		arb:        arb,
+		llc:        memctrl.New(cfg.LLC, cfg.PerfectLLC, cfg.Lat.DRAM),
+		dir:        coherence.NewDirectory(),
+		run:        stats.NewRun(cfg.N()),
+		mode:       cfg.Mode,
+		contention: make(map[uint64]*LineContention),
+		kickPending: make([]int64, 0, cfg.N()+4),
+		cands:       make([]bus.Candidate, cfg.N()),
+		timerRecs:   make([]timerRec, 0, 4*cfg.N()),
+		timerFree:   -1,
 	}
+	s.eng.SetHandler(s)
+	s.pinnedFn = s.pinnedInL1
+	// Steady-state queue depth: one wake/kick per core plus in-flight bus
+	// events and timer expiries — far below this; reserve once so the heap
+	// backing never reallocates mid-run.
+	s.eng.Reserve(8*cfg.N() + 32)
 	for i := 0; i < cfg.N(); i++ {
 		lut, err := coherence.NewModeLUT(cfg.Cores[i].TimerLUT)
 		if err != nil {
@@ -233,19 +250,17 @@ func (s *System) Run() (*stats.Run, error) {
 	}
 	s.eng.SetBudget(sim.Cycle(10_000_000 + totalAccesses*1_000_000))
 	for _, sw := range s.modeSwitches {
-		sw := sw
-		s.at(sw.at, func(now int64) { s.applyModeSwitch(now, sw.mode) })
+		s.atEvent(sw.at, evModeSwitch, 0, uint64(sw.mode), 0)
 	}
 	s.startGovernor()
 	s.startSampler()
 	for _, c := range s.cores {
-		c := c
 		if len(c.stream) == 0 {
 			c.finished = true
 			continue
 		}
 		c.nextEligible = c.stream[0].Gap
-		s.at(c.nextEligible, func(now int64) { s.coreWake(c, now) })
+		s.atEvent(c.nextEligible, evCoreWake, int32(c.id), 0, 0)
 	}
 	err := s.eng.Run()
 	// An invariant violation outranks any downstream symptom (budget

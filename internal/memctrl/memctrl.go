@@ -23,18 +23,31 @@ type LLC struct {
 	// line is eventually installed by a fetch or a writeback.
 	bypassed map[uint64]bool
 
+	// scratch backs the backInv slices returned by Fetch/WriteBack; reused
+	// across calls so the steady state allocates nothing. curPinned +
+	// pinAdapter bridge the caller's line-address predicate to the cache's
+	// entry predicate through one closure built in New, instead of a fresh
+	// capture per call.
+	scratch    []uint64
+	curPinned  func(uint64) bool
+	pinAdapter func(*cache.Entry) bool
+
 	hits, misses, evictions, bypasses obs.Counter
 }
 
 // New builds an LLC from its geometry. When perfect is true every fetch
 // hits; dramLat is the penalty added on a miss otherwise.
 func New(geom config.CacheGeometry, perfect bool, dramLat int64) *LLC {
-	return &LLC{
+	l := &LLC{
 		arr:      cache.New(geom.SizeBytes, geom.LineBytes, geom.Ways),
 		perfect:  perfect,
 		dramLat:  dramLat,
 		bypassed: make(map[uint64]bool),
 	}
+	l.pinAdapter = func(e *cache.Entry) bool {
+		return l.curPinned != nil && l.curPinned(e.LineAddr)
+	}
+	return l
 }
 
 // Perfect reports whether the LLC is in perfect mode.
@@ -50,6 +63,9 @@ func (l *LLC) Perfect() bool { return l.perfect }
 // back-invalidation as an MSI-only invalidation cause). If every candidate
 // way is pinned, the fill bypasses the LLC: the requester is served straight
 // from DRAM and the line is not cached at this level.
+//
+// A non-nil backInv aliases a scratch buffer owned by the LLC: it is valid
+// only until the next Fetch or WriteBack call.
 func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) bool) (penalty int64, backInv []uint64) {
 	if l.perfect {
 		l.hits.Inc()
@@ -61,9 +77,9 @@ func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) boo
 		return 0, nil
 	}
 	l.misses.Inc()
-	victim := l.arr.VictimFor(lineAddr, func(e *cache.Entry) bool {
-		return pinned != nil && pinned(e.LineAddr)
-	})
+	l.curPinned = pinned
+	victim := l.arr.VictimFor(lineAddr, l.pinAdapter)
+	l.curPinned = nil
 	if victim == nil {
 		// All ways hold timer-protected lines: serve around the LLC.
 		l.bypasses.Inc()
@@ -72,7 +88,8 @@ func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) boo
 	}
 	if victim.Valid() {
 		l.evictions.Inc()
-		backInv = append(backInv, victim.LineAddr)
+		l.scratch = append(l.scratch[:0], victim.LineAddr)
+		backInv = l.scratch
 		l.arr.Invalidate(victim)
 	}
 	l.arr.Fill(victim, lineAddr, cache.Shared, now)
@@ -83,7 +100,7 @@ func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) boo
 // WriteBack absorbs a dirty line from a private cache and returns any lines
 // that must be back-invalidated to make room. In perfect mode it is a no-op;
 // otherwise the line is (re)installed so a future fetch hits. pinned has the
-// same meaning as in Fetch.
+// same meaning as in Fetch, and backInv the same scratch-buffer lifetime.
 func (l *LLC) WriteBack(lineAddr uint64, now int64, pinned func(lineAddr uint64) bool) (backInv []uint64) {
 	if l.perfect {
 		return nil
@@ -94,15 +111,16 @@ func (l *LLC) WriteBack(lineAddr uint64, now int64, pinned func(lineAddr uint64)
 	}
 	// Writeback of a line the LLC no longer tracks (it was bypassed):
 	// install it if possible without disturbing pinned lines.
-	victim := l.arr.VictimFor(lineAddr, func(e *cache.Entry) bool {
-		return pinned != nil && pinned(e.LineAddr)
-	})
+	l.curPinned = pinned
+	victim := l.arr.VictimFor(lineAddr, l.pinAdapter)
+	l.curPinned = nil
 	if victim == nil {
 		return nil
 	}
 	if victim.Valid() {
 		l.evictions.Inc()
-		backInv = append(backInv, victim.LineAddr)
+		l.scratch = append(l.scratch[:0], victim.LineAddr)
+		backInv = l.scratch
 		l.arr.Invalidate(victim)
 	}
 	l.arr.Fill(victim, lineAddr, cache.Modified, now)

@@ -32,6 +32,7 @@ import (
 	"io"
 	"sort"
 
+	"cohort/internal/cache"
 	"cohort/internal/coherence"
 	"cohort/internal/config"
 	"cohort/internal/core"
@@ -126,6 +127,11 @@ type Checker struct {
 	stride    int64
 	perms     [][]int
 	winCache  map[int][]Window
+
+	// lruScratch backs the per-set snapshots taken while encoding a state;
+	// encode runs once per (state, permutation) and is the checker's hottest
+	// loop, so the buffer is reused across calls (cache.AppendEntriesLRU).
+	lruScratch []*cache.Entry
 }
 
 // New validates the exploration config and precomputes the schedule stride,

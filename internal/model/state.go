@@ -95,7 +95,8 @@ func (c *Checker) encode(sys *core.System, boundary int64, order []int) []byte {
 		b = appendI64(b, int64(theta))
 		l1 := sys.CoreL1(orig)
 		for _, set := range c.l1Sets {
-			for _, e := range l1.EntriesLRU(set) {
+			c.lruScratch = l1.AppendEntriesLRU(c.lruScratch[:0], set)
+			for _, e := range c.lruScratch {
 				li := dir.Peek(e.LineAddr)
 				b = append(b, byte(c.lineIdx[e.LineAddr]), byte(e.State))
 				b = appendI64(b, int64(li.Version-e.Version))
@@ -135,7 +136,8 @@ func (c *Checker) encode(sys *core.System, boundary int64, order []int) []byte {
 		}
 		arr := llc.Array()
 		for _, set := range c.llcSets {
-			for _, e := range arr.EntriesLRU(set) {
+			c.lruScratch = arr.AppendEntriesLRU(c.lruScratch[:0], set)
+			for _, e := range c.lruScratch {
 				idx, ok := c.lineIdx[e.LineAddr]
 				if !ok {
 					idx = 251 // foreign line; never expected (workload only touches c.lines)

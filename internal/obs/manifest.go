@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -46,6 +47,20 @@ type TraceRef struct {
 	Fingerprint string `json:"fingerprint"`
 }
 
+// HostInfo records the execution host's parallel capacity. Wall times are
+// only comparable with this context: a workers=8 run on a 1-CPU container
+// is legitimately slower than workers=1, not a regression. Optional in the
+// schema — manifests written before it existed still parse and validate.
+type HostInfo struct {
+	NumCPU     int `json:"num_cpu,omitempty"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+}
+
+// CaptureHost reads the current process's host capacity.
+func CaptureHost() *HostInfo {
+	return &HostInfo{NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+}
+
 // Manifest describes one CLI invocation: what ran (tool, args, config
 // fingerprint, input traces, seed, workers), when and for how long (the
 // only wall-clock fields in the repository), and what it measured (engine
@@ -61,6 +76,7 @@ type Manifest struct {
 	Workers     int                `json:"workers"`
 	StartedAt   string             `json:"started_at"`
 	WallSeconds float64            `json:"wall_seconds"`
+	Host        *HostInfo          `json:"host,omitempty"`
 	Engine      *stats.EngineStats `json:"engine,omitempty"`
 	Metrics     Snapshot           `json:"metrics,omitempty"`
 	Notes       string             `json:"notes,omitempty"`
@@ -73,6 +89,7 @@ func NewManifest(tool string, clk Clock) *Manifest {
 		Schema:    ManifestSchema,
 		Tool:      tool,
 		StartedAt: clk.Now().UTC().Format(time.RFC3339),
+		Host:      CaptureHost(),
 	}
 }
 
@@ -119,6 +136,9 @@ func (m *Manifest) Validate() error {
 	}
 	if m.WallSeconds < 0 {
 		return fmt.Errorf("manifest: negative wall_seconds %g", m.WallSeconds)
+	}
+	if m.Host != nil && (m.Host.NumCPU < 0 || m.Host.GoMaxProcs < 0) {
+		return fmt.Errorf("manifest: negative host capacity %+v", *m.Host)
 	}
 	for _, tr := range m.Traces {
 		if tr.Name == "" || tr.Fingerprint == "" || !isHex(tr.Fingerprint) {

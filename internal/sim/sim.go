@@ -3,10 +3,17 @@
 // cache-system model in internal/core: components schedule callbacks at
 // absolute cycles and the engine executes them in (time, insertion order)
 // order, which makes every run bit-reproducible.
+//
+// Two scheduling surfaces share one queue and one (at, seq) total order:
+// closure events (Schedule/ScheduleAt — the flexible path for tests and cold
+// code) and typed events (ScheduleKind/ScheduleKindAt — an enum kind, a
+// receiver index and two payload words dispatched through a Handler). Typed
+// events exist because the simulator hot path used to allocate a fresh
+// closure per scheduled callback; a typed item is plain data, so scheduling
+// one performs zero allocations beyond amortized queue growth.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -17,31 +24,25 @@ type Cycle int64
 // Event is a callback scheduled to run at a specific cycle.
 type Event func(now Cycle)
 
-// item is a scheduled event inside the queue.
-type item struct {
-	at  Cycle
-	seq uint64 // tie-breaker: insertion order
-	fn  Event
+// Kind is a small enum identifying a typed event's meaning. The enum values
+// belong to the Handler's domain (internal/core defines the simulator's
+// kinds); the engine only carries them.
+type Kind uint8
+
+// Handler dispatches typed events. The receiver index and payload words are
+// opaque to the engine; the handler's jump table interprets them.
+type Handler interface {
+	HandleEvent(now Cycle, kind Kind, recv int32, p0, p1 uint64)
 }
 
-// eventHeap orders items by (at, seq).
-type eventHeap []item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// payload is what executes when a queue item fires: either a closure (fn
+// non-nil) or a typed event for the engine's Handler.
+type payload struct {
+	fn   Event // nil for typed events
+	p0   uint64
+	p1   uint64
+	recv int32
+	kind Kind
 }
 
 // ErrPastEvent is returned by ScheduleAt when the requested cycle precedes
@@ -51,10 +52,11 @@ var ErrPastEvent = errors.New("sim: event scheduled in the past")
 // Engine is a single-threaded discrete-event simulation engine.
 // The zero value is ready to use and starts at cycle 0.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	queue  eventHeap
-	budget Cycle // 0 means unlimited
+	now     Cycle
+	seq     uint64
+	queue   heap4[payload]
+	budget  Cycle // 0 means unlimited
+	handler Handler
 }
 
 // New returns an engine starting at cycle 0.
@@ -64,7 +66,20 @@ func New() *Engine { return &Engine{} }
 func (e *Engine) Now() Cycle { return e.now }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
+
+// Reserve preallocates queue backing for at least n additional events, so a
+// caller that knows its steady-state queue depth avoids growth reallocations
+// mid-run.
+func (e *Engine) Reserve(n int) {
+	if n > 0 {
+		e.queue.grow(n)
+	}
+}
+
+// SetHandler installs the typed-event dispatcher. Must be set before the
+// first ScheduleKind/ScheduleKindAt call.
+func (e *Engine) SetHandler(h Handler) { e.handler = h }
 
 // SetBudget limits Run to at most limit cycles of simulated time
 // (0 removes the limit). Run returns ErrBudgetExceeded if the limit is hit
@@ -98,30 +113,61 @@ func (e *Engine) push(at Cycle, fn Event) {
 		panic("sim: nil event")
 	}
 	e.seq++
-	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+	e.queue.push(at, e.seq, payload{fn: fn})
+}
+
+// ScheduleKind queues a typed event delay cycles from now. It shares the
+// (at, seq) order with closure events: a typed event and a closure scheduled
+// back to back fire in exactly that order.
+func (e *Engine) ScheduleKind(delay Cycle, kind Kind, recv int32, p0, p1 uint64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.pushKind(e.now+delay, kind, recv, p0, p1)
+}
+
+// ScheduleKindAt queues a typed event at the absolute cycle at.
+func (e *Engine) ScheduleKindAt(at Cycle, kind Kind, recv int32, p0, p1 uint64) error {
+	if at < e.now {
+		return fmt.Errorf("%w: at=%d now=%d", ErrPastEvent, at, e.now)
+	}
+	e.pushKind(at, kind, recv, p0, p1)
+	return nil
+}
+
+func (e *Engine) pushKind(at Cycle, kind Kind, recv int32, p0, p1 uint64) {
+	if e.handler == nil {
+		panic("sim: typed event scheduled with no Handler set")
+	}
+	e.seq++
+	e.queue.push(at, e.seq, payload{kind: kind, recv: recv, p0: p0, p1: p1})
 }
 
 // Step executes the earliest pending event, advancing time to its cycle.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.queue.len() == 0 {
 		return false
 	}
-	it := heap.Pop(&e.queue).(item)
+	it := e.queue.pop()
 	if it.at < e.now {
 		// Heap discipline makes this unreachable; guard anyway.
 		panic(fmt.Sprintf("sim: time moved backwards: %d < %d", it.at, e.now))
 	}
 	e.now = it.at
-	it.fn(e.now)
+	if it.v.fn != nil {
+		it.v.fn(e.now)
+	} else {
+		e.handler.HandleEvent(e.now, it.v.kind, it.v.recv, it.v.p0, it.v.p1)
+	}
 	return true
 }
 
 // Run executes events until the queue drains or the cycle budget is hit.
 func (e *Engine) Run() error {
-	for len(e.queue) > 0 {
-		if e.budget > 0 && e.queue[0].at > e.budget {
-			return fmt.Errorf("%w: next event at %d, budget %d", ErrBudgetExceeded, e.queue[0].at, e.budget)
+	for e.queue.len() > 0 {
+		if e.budget > 0 && e.queue.s[0].at > e.budget {
+			return fmt.Errorf("%w: next event at %d, budget %d", ErrBudgetExceeded, e.queue.s[0].at, e.budget)
 		}
 		e.Step()
 	}
@@ -131,7 +177,7 @@ func (e *Engine) Run() error {
 // RunUntil executes events with timestamps ≤ deadline, leaving later events
 // queued, and advances time to deadline.
 func (e *Engine) RunUntil(deadline Cycle) {
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for e.queue.len() > 0 && e.queue.s[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {

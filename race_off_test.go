@@ -1,0 +1,8 @@
+//go:build !race
+
+package cohort_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-regression guard skips under -race because the detector's
+// shadow-memory bookkeeping inflates allocation counts.
+const raceEnabled = false
