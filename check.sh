@@ -11,8 +11,8 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> cohort-vet ./..."
-go run ./cmd/cohort-vet ./...
+echo "==> cohort-vet -baseline lint.baseline ./..."
+go run ./cmd/cohort-vet -baseline lint.baseline ./...
 
 echo "==> go test ./..."
 go test ./...

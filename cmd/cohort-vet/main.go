@@ -2,24 +2,43 @@
 // over the simulator packages. The analyzers enforce the contract that makes
 // every simulation bit-reproducible: no map-order dependence, no wall-clock
 // reads, no global randomness, no concurrency inside event callbacks, and no
-// floating-point leakage into cycle arithmetic. Two further analyzers guard
-// the protocol and the suppressions themselves: exhaustive requires switches
-// over protocol enums to cover every member (or declare a default), and
-// allowdoc requires every //cohort:allow annotation to use the canonical
+// floating-point leakage into cycle arithmetic. Two analyzers guard the
+// protocol and the suppressions themselves: exhaustive requires switches over
+// protocol enums to cover every member (or declare a default), and allowdoc
+// requires every //cohort:allow annotation to use the canonical
 // '//cohort:allow <analyzer>: <reason>' form with a registered analyzer.
+//
+// Three whole-program analyzers run over a conservative call graph of the
+// entire module rather than file by file: hotalloc (no allocation sites
+// reachable from //cohort:hotpath roots), reachcontract (the determinism
+// contracts enforced transitively from hot-path and oracle roots) and
+// parallelpure (jobs handed to parallel.Map/MapErr may write only their
+// index-addressed result slot).
 //
 // Usage:
 //
-//	go run ./cmd/cohort-vet [packages]
+//	go run ./cmd/cohort-vet [flags] [packages]
 //
-// Packages default to ./... and accept any `go list` pattern. Only the
-// packages bound by the determinism contract (internal/{sim,core,bus,cache,
-// coherence,memctrl,sched,trace,opt}) are checked; everything else matched by
-// the pattern is skipped, so `./...` is always a valid invocation. Exit
-// status is 1 when any diagnostic is reported.
+// Packages default to ./... and accept any `go list` pattern. The per-package
+// analyzers check only the packages bound by the determinism contract
+// (internal/{sim,core,bus,cache,coherence,memctrl,sched,trace,opt,invariant,
+// model,obs}); the whole-program analyzers see every matched package, so a
+// helper in a cold package that reaches the kernel is still caught. Exit
+// status is 1 when any unbaselined diagnostic is reported.
+//
+// Flags:
+//
+//	-baseline file   compare findings against a committed baseline: findings
+//	                 listed there pass, new findings fail, stale entries fail
+//	                 until pruned (the ratchet only shrinks)
+//	-write-baseline  regenerate the -baseline file from the current findings
+//	-json file       write the findings as a JSON report ("-" for stdout)
+//	-graph           dump the conservative call graph and exit
+//	-list            list the analyzers and exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,8 +47,10 @@ import (
 )
 
 // contractPackages is the set of import paths bound by the determinism
-// contract. Reporting/CLI packages (stats, experiments, vcd, cmd/*) may
-// legitimately read the clock or format floats; simulator state may not.
+// contract for the per-package analyzers. Reporting/CLI packages (stats,
+// experiments, vcd, cmd/*) may legitimately read the clock or format floats;
+// simulator state may not. The whole-program analyzers are not limited by
+// this set: reachability decides.
 var contractPackages = map[string]bool{
 	"cohort/internal/sim":       true,
 	"cohort/internal/core":      true,
@@ -48,10 +69,29 @@ var contractPackages = map[string]bool{
 	"cohort/internal/obs": true,
 }
 
+// report is the schema of the -json output.
+type report struct {
+	Packages  int            `json:"packages"`
+	Analyzers []string       `json:"analyzers"`
+	Findings  []lint.Finding `json:"findings"`
+	Baseline  *baselineInfo  `json:"baseline,omitempty"`
+}
+
+type baselineInfo struct {
+	File     string   `json:"file"`
+	Accepted int      `json:"accepted"`
+	Fresh    int      `json:"fresh"`
+	Stale    []string `json:"stale,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	baselinePath := flag.String("baseline", "", "baseline `file` of accepted findings (ratcheted: new findings fail)")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the -baseline file from current findings")
+	jsonOut := flag.String("json", "", "write findings as a JSON report to `file` (\"-\" for stdout)")
+	graph := flag.Bool("graph", false, "dump the conservative whole-program call graph and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: cohort-vet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cohort-vet [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the determinism lint suite over the simulator packages.\n")
 		flag.PrintDefaults()
 	}
@@ -60,46 +100,141 @@ func main() {
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			kind := "package"
+			if a.RunProgram != nil {
+				kind = "program"
+			}
+			fmt.Printf("%-16s [%s] %s\n", a.Name, kind, a.Doc)
 		}
 		return
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "cohort-vet: -write-baseline requires -baseline <file>")
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(patterns...)
+	prog, err := lint.LoadProgram(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cg, err := lint.BuildGraph(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *graph {
+		cg.Dump(os.Stdout)
+		return
+	}
 
-	checked, failed := 0, 0
-	for _, pkg := range pkgs {
+	cwd, _ := os.Getwd()
+	var findings []lint.Finding
+	collect := func(a *lint.Analyzer, diags []lint.Diagnostic) {
+		for _, d := range diags {
+			pos := prog.Fset.Position(d.Pos)
+			findings = append(findings, lint.RelFinding(a.Name, pos.Filename, pos.Line, pos.Column, d.Message, cwd))
+		}
+	}
+
+	checked := 0
+	for _, pkg := range prog.Pkgs {
 		if !contractPackages[pkg.Path] {
 			continue
 		}
 		checked++
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			diags, err := lint.Run(a, pkg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			for _, d := range diags {
-				failed++
-				fmt.Printf("%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
-			}
+			collect(a, diags)
 		}
 	}
 	if checked == 0 {
 		fmt.Fprintf(os.Stderr, "cohort-vet: no contract packages matched %v\n", patterns)
 		os.Exit(2)
 	}
+	for _, a := range lint.ProgramAnalyzers() {
+		diags, err := lint.RunOnProgram(a, prog, cg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		collect(a, diags)
+	}
+
+	rep := report{Packages: len(prog.Pkgs)}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	rep.Findings = findings
+
+	if *writeBaseline {
+		if err := os.WriteFile(*baselinePath, lint.FormatBaseline(findings), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cohort-vet:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("cohort-vet: wrote %s (%d finding(s))\n", *baselinePath, len(findings))
+		return
+	}
+
+	failed := 0
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cohort-vet:", err)
+			os.Exit(2)
+		}
+		accepted, err := lint.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fresh, stale := lint.DiffBaseline(findings, accepted)
+		rep.Baseline = &baselineInfo{File: *baselinePath, Accepted: len(accepted), Fresh: len(fresh), Stale: stale}
+		for _, f := range fresh {
+			failed++
+			fmt.Printf("%s\n", f)
+		}
+		for _, k := range stale {
+			failed++
+			fmt.Printf("stale baseline entry (finding no longer fires — prune with -write-baseline): %q\n", k)
+		}
+	} else {
+		for _, f := range findings {
+			failed++
+			fmt.Printf("%s\n", f)
+		}
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cohort-vet:", err)
+			os.Exit(2)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cohort-vet:", err)
+			os.Exit(2)
+		}
+	}
+
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "cohort-vet: %d violation(s) across %d package(s)\n", failed, checked)
+		fmt.Fprintf(os.Stderr, "cohort-vet: %d violation(s) across %d package(s)\n", failed, len(prog.Pkgs))
 		os.Exit(1)
 	}
-	fmt.Printf("cohort-vet: ok (%d packages, %d analyzers)\n", checked, len(analyzers))
+	fmt.Printf("cohort-vet: ok (%d packages, %d contract packages, %d analyzers)\n",
+		len(prog.Pkgs), checked, len(analyzers))
 }

@@ -73,6 +73,8 @@ func NewRROF(n int) *RROF {
 func (a *RROF) Name() string { return "rrof" }
 
 // Pick grants the first ready core in sequence order.
+//
+//cohort:hotpath
 func (a *RROF) Pick(_ int64, cands []Candidate) int {
 	for _, core := range a.order {
 		if cands[core].Ready {
@@ -123,6 +125,8 @@ func NewRR(n int) *RR {
 func (a *RR) Name() string { return "rr" }
 
 // Pick grants the first ready core and rotates it to the back.
+//
+//cohort:hotpath
 func (a *RR) Pick(_ int64, cands []Candidate) int {
 	for i, core := range a.order {
 		if cands[core].Ready {
@@ -160,6 +164,8 @@ func NewFCFS() *FCFS { return &FCFS{} }
 func (a *FCFS) Name() string { return "fcfs" }
 
 // Pick grants the ready candidate with the earliest enqueue time.
+//
+//cohort:hotpath
 func (a *FCFS) Pick(_ int64, cands []Candidate) int {
 	best := -1
 	for i := range cands {
@@ -229,6 +235,8 @@ func (a *TDM) SlotOwner(now int64) int {
 
 // Pick grants the slot owner at slot boundaries, or a non-critical core in
 // an idle slot when permitted.
+//
+//cohort:hotpath
 func (a *TDM) Pick(now int64, cands []Candidate) int {
 	atBoundary := now%a.slotWidth == 0
 	if !atBoundary {

@@ -60,16 +60,16 @@ func (li *LineInfo) HeadWaiter() *Waiter {
 func (li *LineInfo) Enqueue(w Waiter) error {
 	for _, q := range li.Waiters {
 		if q.Core == w.Core {
-			return fmt.Errorf("coherence: core %d already waiting for line", w.Core)
+			return fmt.Errorf("coherence: core %d already waiting for line", w.Core) //cohort:allow hotalloc: protocol-violation error path; the transaction aborts
 		}
 	}
 	if li.Waiters == nil {
 		// First waiter ever on this line: size the FIFO for a typical core
 		// count up front so steady-state enqueues never reallocate (PopWaiter
 		// preserves the capacity).
-		li.Waiters = make([]Waiter, 0, 4)
+		li.Waiters = make([]Waiter, 0, 4) //cohort:allow hotalloc: first-touch FIFO sizing, once per line
 	}
-	li.Waiters = append(li.Waiters, w)
+	li.Waiters = append(li.Waiters, w) //cohort:allow hotalloc: within capacity unless >4 cores queue; PopWaiter keeps the backing array
 	return nil
 }
 
@@ -158,6 +158,8 @@ func NewDirectory() *Directory {
 
 // Get returns the LineInfo for lineAddr, creating a memory-owned record on
 // first touch.
+//
+//cohort:hotpath
 func (d *Directory) Get(lineAddr uint64) *LineInfo {
 	if d.lastLI != nil && d.lastAddr == lineAddr {
 		return d.lastLI
@@ -179,6 +181,8 @@ func (d *Directory) Get(lineAddr uint64) *LineInfo {
 }
 
 // Peek returns the LineInfo if it exists, without creating one.
+//
+//cohort:hotpath
 func (d *Directory) Peek(lineAddr uint64) *LineInfo {
 	if d.lastLI != nil && d.lastAddr == lineAddr {
 		return d.lastLI
@@ -210,7 +214,7 @@ func (d *Directory) insert(i uint64, addr uint64) *LineInfo {
 	if d.sorted && len(d.addrs) > 0 && addr < d.addrs[len(d.addrs)-1] {
 		d.sorted = false
 	}
-	d.addrs = append(d.addrs, addr)
+	d.addrs = append(d.addrs, addr) //cohort:allow hotalloc: first touch of a line only; steady state takes Get's lookup path
 	return li
 }
 
@@ -227,7 +231,7 @@ func (d *Directory) probeEmpty(addr uint64) uint64 {
 // grow doubles the table and reinserts every occupied slot.
 func (d *Directory) grow() {
 	old := d.slots
-	d.slots = make([]dirSlot, 2*len(old))
+	d.slots = make([]dirSlot, 2*len(old)) //cohort:allow hotalloc: table doubling, amortized O(1) per first touch
 	d.mask = uint64(len(d.slots) - 1)
 	for _, s := range old {
 		if s.li != nil {
@@ -240,9 +244,9 @@ func (d *Directory) grow() {
 // capacity, so the returned pointer is never invalidated by later allocs.
 func (d *Directory) alloc() *LineInfo {
 	if len(d.arena) == cap(d.arena) {
-		d.arena = make([]LineInfo, 0, dirSlabLines)
+		d.arena = make([]LineInfo, 0, dirSlabLines) //cohort:allow hotalloc: fresh slab once per dirSlabLines first touches
 	}
-	d.arena = append(d.arena, LineInfo{Owner: MemOwner})
+	d.arena = append(d.arena, LineInfo{Owner: MemOwner}) //cohort:allow hotalloc: within slab capacity by the check above
 	return &d.arena[len(d.arena)-1]
 }
 

@@ -32,6 +32,8 @@ const MemOwner = -1
 // The result saturates at math.MaxInt64 instead of wrapping: callers compare
 // release cycles with < and schedule events at them, so a wrapped (negative)
 // release would silently disable the timer protection.
+//
+//cohort:hotpath
 func ReleaseTime(fetched, req int64, theta config.Timer) int64 {
 	if !theta.Timed() {
 		return req

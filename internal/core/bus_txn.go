@@ -74,7 +74,7 @@ func (s *System) scheduleKick(at int64) {
 			return
 		}
 	}
-	s.kickPending = append(s.kickPending, at)
+	s.kickPending = append(s.kickPending, at) //cohort:allow hotalloc: pending-kick set reaches its high-water mark early, then reuses capacity
 	s.atEvent(at, evKick, 0, 0, 0)
 }
 

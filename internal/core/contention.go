@@ -31,7 +31,7 @@ func (lc LineContention) Sharers() int {
 func (s *System) recordRequest(line uint64, core int) {
 	lc := s.contention[line]
 	if lc == nil {
-		lc = &LineContention{Line: line}
+		lc = &LineContention{Line: line} //cohort:allow hotalloc: one record per distinct line, first touch only (covers the map write below)
 		s.contention[line] = lc
 	}
 	lc.Requests++
@@ -43,7 +43,7 @@ func (s *System) recordRequest(line uint64, core int) {
 func (s *System) recordHandover(line uint64, wait int64) {
 	lc := s.contention[line]
 	if lc == nil {
-		lc = &LineContention{Line: line}
+		lc = &LineContention{Line: line} //cohort:allow hotalloc: one record per distinct line, first touch only (covers the map write below)
 		s.contention[line] = lc
 	}
 	lc.Handovers++

@@ -54,7 +54,7 @@ func (s *System) allocTimerRec(r timerRec) int32 {
 		s.timerRecs[i] = r
 		return i
 	}
-	s.timerRecs = append(s.timerRecs, r)
+	s.timerRecs = append(s.timerRecs, r) //cohort:allow hotalloc: pool grows to the outstanding-timer high-water mark, then the free list recycles
 	return int32(len(s.timerRecs) - 1)
 }
 
@@ -77,6 +77,8 @@ func (s *System) atEvent(cycle int64, kind sim.Kind, recv int32, p0, p1 uint64) 
 // routes each typed event to the same logic the closure path used to invoke,
 // preserving the exact (at, seq) firing order and therefore bit-identical
 // results.
+//
+//cohort:hotpath
 func (s *System) HandleEvent(now sim.Cycle, kind sim.Kind, recv int32, p0, _ uint64) {
 	n := int64(now)
 	switch kind {

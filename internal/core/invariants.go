@@ -69,6 +69,11 @@ var TestHooks struct {
 // transaction. The first violation is latched and returned from Run;
 // further checks stop so the report names the original breach, not the
 // wreckage downstream of it.
+//
+// Opt-in debug machinery: a no-op unless a checker is attached, so it is
+// deliberately outside the steady-state allocation budget.
+//
+//cohort:hotpath exempt
 func (s *System) verifyInvariants(now int64) {
 	if s.inv == nil || s.invErr != nil {
 		return
@@ -80,6 +85,11 @@ func (s *System) verifyInvariants(now int64) {
 
 // checkTimerRelease validates one release/invalidation event against the
 // closed-form expiry (Fig. 3 semantics) just before it is applied.
+//
+// Opt-in debug machinery, like verifyInvariants: a no-op unless a checker
+// is attached.
+//
+//cohort:hotpath exempt
 func (s *System) checkTimerRelease(now int64, line uint64, core int, fetchedAt int64, theta config.Timer, reqVisible int64) {
 	if s.inv == nil || s.invErr != nil {
 		return

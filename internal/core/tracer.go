@@ -71,6 +71,11 @@ func (s *System) SetTracer(t Tracer) error {
 }
 
 // emit delivers an event to the attached tracer and span recorder, if any.
+//
+// Observability fan-out: zero cost when nothing is attached, and runs that
+// attach a tracer or recorder opt out of the zero-allocation guarantee.
+//
+//cohort:hotpath exempt
 func (s *System) emit(ev TraceEvent) {
 	if s.tracer != nil {
 		s.tracer.Trace(ev)

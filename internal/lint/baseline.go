@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic with its analyzer and resolved position, the unit
+// the baseline ratchet and the JSON report operate on.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // repo-relative, slash-separated
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// Key is the identity the baseline matches on: analyzer, file and message —
+// deliberately *not* the line number, so unrelated edits that shift code do
+// not invalidate the baseline. Two identical findings in one file collapse
+// into one key; the ratchet still fires when a fixed instance reappears
+// elsewhere in the file only if the message differs, which the positional
+// fragments embedded in most messages (names, call paths) make the common
+// case.
+func (f Finding) Key() string {
+	return f.Analyzer + "\t" + f.File + "\t" + f.Message
+}
+
+// String renders the finding the way cohort-vet prints it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+}
+
+// RelFinding builds a Finding with the file path made repo-relative when
+// possible (positions come out of go list with absolute paths).
+func RelFinding(analyzer, file string, line, col int, message, root string) Finding {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return Finding{
+		Analyzer: analyzer,
+		File:     filepath.ToSlash(file),
+		Line:     line,
+		Column:   col,
+		Message:  message,
+	}
+}
+
+// FormatBaseline renders the committed baseline file: a header explaining the
+// ratchet plus one tab-separated line per accepted finding, sorted. The line
+// number is omitted from the identity (see Finding.Key) and from the file.
+func FormatBaseline(findings []Finding) []byte {
+	var b strings.Builder
+	b.WriteString("# cohort-vet baseline — machine-ratcheted accepted findings.\n")
+	b.WriteString("# One finding per line: <analyzer>\\t<file>\\t<message>.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/cohort-vet -baseline lint.baseline -write-baseline ./...\n")
+	b.WriteString("# New findings (not listed here) fail CI; entries for fixed findings are\n")
+	b.WriteString("# stale and fail CI until pruned — the set only ever shrinks.\n")
+	keys := make([]string, 0, len(findings))
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		k := f.Key()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// ParseBaseline reads a baseline file into the set of accepted finding keys.
+func ParseBaseline(data []byte) (map[string]bool, error) {
+	keys := make(map[string]bool)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("lint: baseline line %d: want <analyzer>\\t<file>\\t<message>, got %q", i+1, line)
+		}
+		keys[line] = true
+	}
+	return keys, nil
+}
+
+// DiffBaseline splits the current findings against an accepted baseline:
+// fresh findings (must be fixed or annotated) and stale baseline keys
+// (findings that no longer fire; the ratchet requires pruning them).
+func DiffBaseline(findings []Finding, accepted map[string]bool) (fresh []Finding, stale []string) {
+	current := make(map[string]bool)
+	for _, f := range findings {
+		k := f.Key()
+		current[k] = true
+		if !accepted[k] {
+			fresh = append(fresh, f)
+		}
+	}
+	for k := range accepted {
+		if !current[k] {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "hotalloc", File: "internal/core/a.go", Line: 10, Column: 3, Message: "make allocates in hot path (core.F)"},
+		{Analyzer: "hotalloc", File: "internal/core/a.go", Line: 99, Column: 1, Message: "make allocates in hot path (core.F)"}, // same key: collapses
+		{Analyzer: "reachcontract", File: "internal/sim/b.go", Line: 4, Column: 2, Message: "wall-clock read time.Now reachable from a hot-path root (sim.Run)"},
+	}
+	data := FormatBaseline(findings)
+	accepted, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(accepted) != 2 {
+		t.Fatalf("accepted %d keys, want 2 (identical findings collapse)", len(accepted))
+	}
+	fresh, stale := DiffBaseline(findings, accepted)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("round trip: fresh=%v stale=%v, want none", fresh, stale)
+	}
+}
+
+func TestBaselineKeyIgnoresLine(t *testing.T) {
+	a := Finding{Analyzer: "hotalloc", File: "f.go", Line: 10, Message: "m"}
+	b := Finding{Analyzer: "hotalloc", File: "f.go", Line: 42, Message: "m"}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ on line number only: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	accepted, err := ParseBaseline(FormatBaseline([]Finding{
+		{Analyzer: "hotalloc", File: "old.go", Message: "fixed since"},
+		{Analyzer: "hotalloc", File: "kept.go", Message: "still fires"},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := []Finding{
+		{Analyzer: "hotalloc", File: "kept.go", Line: 7, Message: "still fires"},
+		{Analyzer: "hotalloc", File: "new.go", Line: 3, Message: "brand new"},
+	}
+	fresh, stale := DiffBaseline(now, accepted)
+	if len(fresh) != 1 || fresh[0].File != "new.go" {
+		t.Errorf("fresh = %v, want the new.go finding only", fresh)
+	}
+	if !reflect.DeepEqual(stale, []string{"hotalloc\told.go\tfixed since"}) {
+		t.Errorf("stale = %v, want the old.go key only", stale)
+	}
+}
+
+func TestParseBaselineRejectsMalformedLine(t *testing.T) {
+	_, err := ParseBaseline([]byte("# comment\nhotalloc only-one-tab\there\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want malformed-line error naming line 2", err)
+	}
+}

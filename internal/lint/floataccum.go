@@ -35,7 +35,7 @@ func runFloatAccum(pass *Pass) error {
 			if !ok || !tv.IsType() || !types.Identical(tv.Type, cycle) {
 				return true
 			}
-			if src := floatSource(pass, call.Args[0]); src != nil {
+			if src := floatSourceInfo(pass.TypesInfo, call.Args[0]); src != nil {
 				pass.Reportf(call.Pos(), "floating-point value converted into sim.Cycle; "+
 					"cycle/latency arithmetic must stay in exact integer math")
 			}
@@ -65,13 +65,14 @@ func lookupCycleType(pass *Pass) types.Type {
 	return nil
 }
 
-// floatSource returns the first floating-point-typed expression reachable
+// floatSourceInfo returns the first floating-point-typed expression reachable
 // from e by unwrapping integer conversions and parens, or nil when e is
 // integer all the way down. Exact constant expressions (sim.Cycle(1e6)) are
-// not flagged: they lose nothing.
-func floatSource(pass *Pass, e ast.Expr) ast.Expr {
+// not flagged: they lose nothing. Shared with reachcontract, so it takes the
+// bare type info.
+func floatSourceInfo(info *types.Info, e ast.Expr) ast.Expr {
 	e = ast.Unparen(e)
-	tv, ok := pass.TypesInfo.Types[e]
+	tv, ok := info.Types[e]
 	if !ok {
 		return nil
 	}
@@ -85,8 +86,8 @@ func floatSource(pass *Pass, e ast.Expr) ast.Expr {
 	}
 	// Unwrap a nested conversion: sim.Cycle(int64(x*1.5)) still rounds.
 	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
-		if ftv, ok := pass.TypesInfo.Types[call.Fun]; ok && ftv.IsType() {
-			return floatSource(pass, call.Args[0])
+		if ftv, ok := info.Types[call.Fun]; ok && ftv.IsType() {
+			return floatSourceInfo(info, call.Args[0])
 		}
 	}
 	return nil

@@ -50,14 +50,18 @@ type Pass struct {
 	allow map[allowKey]bool
 }
 
-// Analyzer is one determinism check.
+// Analyzer is one determinism check. Exactly one of Run (per-package,
+// syntactic) and RunProgram (whole-program, over the conservative call graph)
+// is set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and allow-annotations.
 	Name string
 	// Doc is a one-paragraph description of the rule and its rationale.
 	Doc string
-	// Run reports diagnostics for the package via pass.Reportf.
+	// Run reports diagnostics for one package via pass.Reportf.
 	Run func(pass *Pass) error
+	// RunProgram reports diagnostics over a whole Program via pass.Reportf.
+	RunProgram func(pass *ProgramPass) error
 }
 
 // Reportf records a diagnostic unless an allow-annotation suppresses it.
@@ -107,7 +111,9 @@ func (p *Pass) allowedAt(pos token.Pos) bool {
 	return p.allow[allowKey{pp.Filename, pp.Line}]
 }
 
-// Analyzers returns the full determinism suite in a stable order.
+// Analyzers returns the full determinism suite in a stable order: the
+// per-package analyzers first, then the whole-program analyzers built on the
+// conservative call graph.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapRangeAnalyzer,
@@ -117,12 +123,29 @@ func Analyzers() []*Analyzer {
 		FloatAccumAnalyzer,
 		ExhaustiveAnalyzer,
 		AllowDocAnalyzer,
+		HotAllocAnalyzer,
+		ReachContractAnalyzer,
+		ParallelPureAnalyzer,
 	}
+}
+
+// ProgramAnalyzers returns the whole-program subset of the suite.
+func ProgramAnalyzers() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if a.RunProgram != nil {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Run executes one analyzer over a loaded package and returns its
 // diagnostics sorted by position.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	if a.Run == nil {
+		return nil, fmt.Errorf("lint: %s is a whole-program analyzer; use RunOnProgram", a.Name)
+	}
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/ast"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -25,7 +27,14 @@ func golden(t *testing.T, a *Analyzer, name string) {
 	if err != nil {
 		t.Fatalf("run %s: %v", a.Name, err)
 	}
+	checkWants(t, pkg.Fset, pkg.Files, diags)
+}
 
+// checkWants compares diagnostics against the `// want "regexp"` expectations
+// embedded in the given files: every want line must produce a matching
+// diagnostic, and every diagnostic must land on a want line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
+	t.Helper()
 	type key struct {
 		file string
 		line int
@@ -33,7 +42,7 @@ func golden(t *testing.T, a *Analyzer, name string) {
 	wants := map[key]*regexp.Regexp{}
 	matched := map[key]bool{}
 	wantRe := regexp.MustCompile(`// want ("(?:[^"\\]|\\.)*")`)
-	for _, f := range pkg.Files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := wantRe.FindStringSubmatch(c.Text)
@@ -44,14 +53,14 @@ func golden(t *testing.T, a *Analyzer, name string) {
 				if err != nil {
 					t.Fatalf("bad want pattern %s: %v", m[1], err)
 				}
-				pos := pkg.Fset.Position(c.Pos())
+				pos := fset.Position(c.Pos())
 				wants[key{pos.Filename, pos.Line}] = regexp.MustCompile(pat)
 			}
 		}
 	}
 
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		k := key{pos.Filename, pos.Line}
 		re, ok := wants[k]
 		if !ok {
@@ -85,15 +94,18 @@ func TestAllowDocGolden(t *testing.T)       { golden(t, AllowDocAnalyzer, "allow
 func TestAnalyzerMetadata(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range Analyzers() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run (per-package) and RunProgram (whole-program)", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"maprange", "walltime", "globalrand", "eventgoroutine", "floataccum", "exhaustive", "allowdoc"} {
+	for _, want := range []string{"maprange", "walltime", "globalrand", "eventgoroutine", "floataccum", "exhaustive", "allowdoc", "hotalloc", "reachcontract", "parallelpure"} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}
@@ -107,28 +119,37 @@ func TestRepositoryLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
 	}
-	targets := []string{
-		"cohort/internal/sim",
-		"cohort/internal/core",
-		"cohort/internal/bus",
-		"cohort/internal/cache",
-		"cohort/internal/coherence",
-		"cohort/internal/memctrl",
-		"cohort/internal/sched",
-		"cohort/internal/trace",
-		"cohort/internal/opt",
-		"cohort/internal/invariant",
-		"cohort/internal/model",
+	contract := map[string]bool{
+		"cohort/internal/sim":       true,
+		"cohort/internal/core":      true,
+		"cohort/internal/bus":       true,
+		"cohort/internal/cache":     true,
+		"cohort/internal/coherence": true,
+		"cohort/internal/memctrl":   true,
+		"cohort/internal/sched":     true,
+		"cohort/internal/trace":     true,
+		"cohort/internal/opt":       true,
+		"cohort/internal/invariant": true,
+		"cohort/internal/model":     true,
 	}
-	pkgs, err := Load(targets...)
+	prog, err := LoadProgram("cohort/...")
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if len(pkgs) != len(targets) {
-		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(targets))
+	g, err := BuildGraph(prog)
+	if err != nil {
+		t.Fatalf("build graph: %v", err)
 	}
-	for _, pkg := range pkgs {
+	checked := 0
+	for _, pkg := range prog.Pkgs {
+		if !contract[pkg.Path] {
+			continue
+		}
+		checked++
 		for _, a := range Analyzers() {
+			if a.Run == nil {
+				continue
+			}
 			diags, err := Run(a, pkg)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
@@ -136,6 +157,18 @@ func TestRepositoryLintsClean(t *testing.T) {
 			for _, d := range diags {
 				t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, a.Name)
 			}
+		}
+	}
+	if checked != len(contract) {
+		t.Errorf("checked %d contract packages, want %d", checked, len(contract))
+	}
+	for _, a := range ProgramAnalyzers() {
+		diags, err := RunOnProgram(a, prog, g)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s [%s]", prog.Fset.Position(d.Pos), d.Message, a.Name)
 		}
 	}
 }

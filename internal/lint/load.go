@@ -26,12 +26,14 @@ type Package struct {
 	Info  *types.Info
 }
 
-// listedPackage is the subset of `go list -json` output the loader needs.
+// listedPackage is the subset of `go list -json` output the loaders need.
 type listedPackage struct {
 	ImportPath string
 	Dir        string
 	Name       string
 	GoFiles    []string
+	Standard   bool // part of the standard library
+	DepOnly    bool // reached only as a dependency of the listed patterns
 }
 
 // Load expands the given `go list` patterns and returns the matched packages

@@ -34,7 +34,7 @@ func runMapRange(pass *Pass) error {
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if collectThenSort(pass, rs, enclosingFunc(stack)) {
+			if collectThenSort(pass.TypesInfo, rs, funcBody(enclosingFunc(stack))) {
 				return true
 			}
 			pass.Reportf(rs.Pos(), "range over map %s is non-deterministic; sort the keys first, "+
@@ -58,23 +58,23 @@ func typeLabel(e ast.Expr) string {
 }
 
 // collectThenSort recognizes the safe idiom: every statement of the range
-// body is `s = append(s, ...)` and the enclosing function sorts each such s
-// after the loop.
-func collectThenSort(pass *Pass, rs *ast.RangeStmt, fn ast.Node) bool {
-	if fn == nil || len(rs.Body.List) == 0 {
+// body is `s = append(s, ...)` and the enclosing function body sorts each
+// such s after the loop. Shared with the whole-program reachcontract
+// analyzer, so it takes the bare type info rather than a Pass.
+func collectThenSort(info *types.Info, rs *ast.RangeStmt, body *ast.BlockStmt) bool {
+	if body == nil || len(rs.Body.List) == 0 {
 		return false
 	}
 	var targets []types.Object
 	for _, st := range rs.Body.List {
-		obj := appendTarget(pass, st)
+		obj := appendTarget(info, st)
 		if obj == nil {
 			return false
 		}
 		targets = append(targets, obj)
 	}
-	body := funcBody(fn)
 	for _, obj := range targets {
-		if !sortedAfter(pass, body, rs, obj) {
+		if !sortedAfter(info, body, rs, obj) {
 			return false
 		}
 	}
@@ -83,7 +83,7 @@ func collectThenSort(pass *Pass, rs *ast.RangeStmt, fn ast.Node) bool {
 
 // appendTarget returns the object of x in a statement of the exact form
 // `x = append(x, ...)`, or nil.
-func appendTarget(pass *Pass, st ast.Stmt) types.Object {
+func appendTarget(info *types.Info, st ast.Stmt) types.Object {
 	as, ok := st.(*ast.AssignStmt)
 	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
 		return nil
@@ -100,19 +100,19 @@ func appendTarget(pass *Pass, st ast.Stmt) types.Object {
 	if !ok || fun.Name != "append" {
 		return nil
 	}
-	if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+	if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
 		return nil
 	}
 	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
 	if !ok || first.Name != lhs.Name {
 		return nil
 	}
-	return pass.TypesInfo.Uses[lhs]
+	return info.Uses[lhs]
 }
 
 // sortedAfter reports whether the function body contains, after the range
 // statement, a recognised sorting call with obj as its (first) argument.
-func sortedAfter(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
 	if body == nil || obj == nil {
 		return false
 	}
@@ -122,14 +122,14 @@ func sortedAfter(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.O
 		if !ok || found || call.Pos() < rs.End() {
 			return true
 		}
-		fn := calleeFunc(pass.TypesInfo, call)
+		fn := calleeFunc(info, call)
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
 		if !isSortFunc(fn) || len(call.Args) == 0 {
 			return true
 		}
-		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.TypesInfo.Uses[arg] == obj {
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && info.Uses[arg] == obj {
 			found = true
 		}
 		return true

@@ -12,6 +12,11 @@ func wellFormed(m map[int]int) int {
 	return n
 }
 
+func newSuiteName(xs []int) []int {
+	//cohort:allow hotalloc: amortized growth, accepted by the ratchet
+	return append(xs, 1)
+}
+
 func legacyFormFlagged(m map[int]int) int {
 	n := 0
 	//cohort:allow maprange body only counts // want "malformed allow annotation"

@@ -1,0 +1,10 @@
+// Package dep is a cross-package callee: the hot-path contract follows the
+// call edge into it even though the package itself carries no annotations.
+package dep
+
+var sink []int
+
+// Leaf allocates and is reachable from the hotalloc.Root hot root.
+func Leaf(n int) {
+	sink = append(sink, n) // want "append may grow its backing array in hot path \\(hotalloc.Root → dep.Leaf\\)"
+}

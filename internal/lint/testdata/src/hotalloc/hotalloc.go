@@ -1,0 +1,51 @@
+// Package hotalloc exercises the whole-program allocation analyzer:
+// functions reachable from a //cohort:hotpath root must contain no
+// allocation sites, wherever they live.
+package hotalloc
+
+import (
+	"fmt"
+
+	"cohort/lint-testdata/hotalloc/dep"
+)
+
+var sink []int
+var box any
+var table = map[int]int{}
+
+//cohort:hotpath
+func Root(n int) {
+	sink = make([]int, n)        // want "make allocates in hot path"
+	sink = append(sink, n)       // want "append may grow its backing array in hot path"
+	box = n                      // want "interface conversion boxes a int value in hot path"
+	table[n] = n                 // want "map write may grow the map in hot path"
+	f := func() int { return n } // want "function literal allocates a closure in hot path"
+	_ = f()
+	helper(n)
+	dep.Leaf(n)
+	Exempted(n)
+	if n < 0 {
+		// Aborting path: subtrees under panic arguments are pruned.
+		panic(fmt.Sprintf("hotalloc: bad n %d", n))
+	}
+	box = "" // constant conversion: backed by a static descriptor, no finding
+	sink = append(sink, n) //cohort:allow hotalloc: suppression case for the golden
+}
+
+// helper is not annotated but reachable from Root: the finding carries the
+// call path.
+func helper(n int) {
+	sink = make([]int, n) // want "make allocates in hot path \\(hotalloc.Root → hotalloc.helper\\)"
+}
+
+// Exempted is cut out of the traversal: opt-in machinery may allocate.
+//
+//cohort:hotpath exempt
+func Exempted(n int) {
+	sink = make([]int, n)
+}
+
+// Cold is unreachable from any root: its allocations are fine.
+func Cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,21 @@
+// Package parallel mirrors the evaluation engine's fan-out API shape; the
+// parallelpure analyzer matches Map/MapErr in any package named parallel.
+package parallel
+
+// Map runs fn for each index (serially here; the analyzer only cares about
+// the call shape).
+func Map(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// MapErr is the error-propagating variant.
+func MapErr(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Package parallelpure exercises the job-purity contract: a closure handed
+// to parallel.Map/MapErr may write only through its index-addressed result
+// slot.
+package parallelpure
+
+import "cohort/lint-testdata/parallelpure/parallel"
+
+func Jobs(n int) []int {
+	results := make([]int, n)
+	counter := 0
+	shared := map[int]int{}
+	ptr := &counter
+	parallel.Map(n, func(i int) {
+		local := i * 2
+		results[i] = local // index-addressed result slot: sanctioned
+		counter++          // want "parallel.Map job writes captured variable \"counter\""
+		shared[i] = local  // want "parallel.Map job writes captured variable \"shared\""
+		results[0] = local // want "parallel.Map job writes captured variable \"results\""
+		*ptr = local       // want "parallel.Map job writes captured variable \"ptr\" through a pointer"
+	})
+	_ = shared
+	return results
+}
+
+func JobsErr(n int) error {
+	out := make([]int, n)
+	bad := 0
+	err := parallel.MapErr(n, func(i int) error {
+		out[i] = i
+		bad++ // want "parallel.MapErr job writes captured variable \"bad\""
+		return nil
+	})
+	_ = bad
+	return err
+}
+
+// Counted pins the allow-annotation escape hatch.
+func Counted(n int) int {
+	total := 0
+	parallel.Map(n, func(i int) {
+		total += i //cohort:allow parallelpure: reduction folded serially by the backend in this configuration
+	})
+	return total
+}

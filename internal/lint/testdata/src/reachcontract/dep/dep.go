@@ -1,0 +1,20 @@
+// Package dep is a cross-package callee of the reachcontract golden: the
+// determinism contracts follow the call, not the file.
+package dep
+
+import (
+	"math/rand"
+	"time"
+)
+
+var last int64
+
+// Stamp is reachable from reachcontract.Root.
+func Stamp() {
+	last = time.Now().Unix()    // want "wall-clock read time.Now reachable from a hot-path root \\(reachcontract.Root → dep.Stamp\\)"
+	last += int64(rand.Intn(8)) // want "global rand.Intn reachable from a hot-path root"
+}
+
+// Cold is not reachable: clock reads in cold code are the per-package
+// walltime analyzer's business, not this one's.
+func Cold() int64 { return time.Now().Unix() }

@@ -1,0 +1,50 @@
+// Package reachcontract exercises transitive enforcement of the determinism
+// contracts (walltime, globalrand, maprange, floataccum) from hot-path and
+// oracle roots over the whole-program call graph.
+package reachcontract
+
+import (
+	"sort"
+	"time"
+
+	"cohort/lint-testdata/reachcontract/dep"
+	"cohort/lint-testdata/reachcontract/sim"
+)
+
+var when int64
+
+//cohort:hotpath
+func Root(m map[int]int, f float64) sim.Cycle {
+	for k := range m { // want "map range reachable from a hot-path root"
+		when += int64(k)
+	}
+	sorted(m)
+	dep.Stamp()
+	return sim.Cycle(f) // want "floating-point value converted into sim.Cycle"
+}
+
+// sorted uses the collect-then-sort idiom the contract sanctions: the range
+// body only appends keys, and the slice is sorted after the loop.
+func sorted(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Oracle is a determinism-only root: the allocation contract does not apply,
+// the determinism contracts do.
+//
+//cohort:hotpath determinism
+func Oracle() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now reachable from a hot-path root"
+}
+
+// Suppressed pins the allow-annotation escape hatch.
+//
+//cohort:hotpath
+func Suppressed() int64 {
+	return time.Now().Unix() //cohort:allow reachcontract: manifest stamping, outside the simulated timeline
+}

@@ -1,0 +1,6 @@
+// Package sim declares the Cycle type the floataccum contract guards; the
+// analyzer resolves it by package name in golden trees.
+package sim
+
+// Cycle is simulated time in cycles.
+type Cycle int64

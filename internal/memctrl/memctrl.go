@@ -66,6 +66,8 @@ func (l *LLC) Perfect() bool { return l.perfect }
 //
 // A non-nil backInv aliases a scratch buffer owned by the LLC: it is valid
 // only until the next Fetch or WriteBack call.
+//
+//cohort:hotpath
 func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) bool) (penalty int64, backInv []uint64) {
 	if l.perfect {
 		l.hits.Inc()
@@ -83,12 +85,12 @@ func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) boo
 	if victim == nil {
 		// All ways hold timer-protected lines: serve around the LLC.
 		l.bypasses.Inc()
-		l.bypassed[lineAddr] = true
+		l.bypassed[lineAddr] = true //cohort:allow hotalloc: bypass set bounded by pinned-capacity conflicts; first touch per line
 		return l.dramLat, nil
 	}
 	if victim.Valid() {
 		l.evictions.Inc()
-		l.scratch = append(l.scratch[:0], victim.LineAddr)
+		l.scratch = append(l.scratch[:0], victim.LineAddr) //cohort:allow hotalloc: one-element scratch reused across calls; grows once
 		backInv = l.scratch
 		l.arr.Invalidate(victim)
 	}
@@ -101,6 +103,8 @@ func (l *LLC) Fetch(lineAddr uint64, now int64, pinned func(lineAddr uint64) boo
 // that must be back-invalidated to make room. In perfect mode it is a no-op;
 // otherwise the line is (re)installed so a future fetch hits. pinned has the
 // same meaning as in Fetch, and backInv the same scratch-buffer lifetime.
+//
+//cohort:hotpath
 func (l *LLC) WriteBack(lineAddr uint64, now int64, pinned func(lineAddr uint64) bool) (backInv []uint64) {
 	if l.perfect {
 		return nil
@@ -119,7 +123,7 @@ func (l *LLC) WriteBack(lineAddr uint64, now int64, pinned func(lineAddr uint64)
 	}
 	if victim.Valid() {
 		l.evictions.Inc()
-		l.scratch = append(l.scratch[:0], victim.LineAddr)
+		l.scratch = append(l.scratch[:0], victim.LineAddr) //cohort:allow hotalloc: one-element scratch reused across calls; grows once
 		backInv = l.scratch
 		l.arr.Invalidate(victim)
 	}

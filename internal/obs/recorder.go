@@ -61,7 +61,7 @@ func (r *Recorder) add(ev Event) {
 		return
 	}
 	r.mu.Lock()
-	r.events = append(r.events, ev)
+	r.events = append(r.events, ev) //cohort:allow hotalloc: span buffer of an opt-in recorder; growth is amortized
 	r.mu.Unlock()
 }
 

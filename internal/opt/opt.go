@@ -400,6 +400,7 @@ type Result struct {
 // the same order as a serial run; only the deduped oracle evaluations are
 // dispatched to workers. Optimize therefore returns a byte-identical Result
 // for every GAConfig.Workers value.
+//cohort:hotpath determinism
 func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -51,7 +51,7 @@ func before(aAt Cycle, aSeq uint64, bAt Cycle, bSeq uint64) bool {
 // formulation (shift parents down, write the new element once) saves a swap
 // per level over the textbook exchange loop.
 func (h *heap4[T]) push(at Cycle, seq uint64, v T) {
-	h.s = append(h.s, heapItem[T]{})
+	h.s = append(h.s, heapItem[T]{}) //cohort:allow hotalloc: queue grows to its high-water mark, then append stays within capacity
 	i := len(h.s) - 1
 	for i > 0 {
 		p := (i - 1) >> 2

@@ -119,6 +119,8 @@ func (e *Engine) push(at Cycle, fn Event) {
 // ScheduleKind queues a typed event delay cycles from now. It shares the
 // (at, seq) order with closure events: a typed event and a closure scheduled
 // back to back fire in exactly that order.
+//
+//cohort:hotpath
 func (e *Engine) ScheduleKind(delay Cycle, kind Kind, recv int32, p0, p1 uint64) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
@@ -129,7 +131,7 @@ func (e *Engine) ScheduleKind(delay Cycle, kind Kind, recv int32, p0, p1 uint64)
 // ScheduleKindAt queues a typed event at the absolute cycle at.
 func (e *Engine) ScheduleKindAt(at Cycle, kind Kind, recv int32, p0, p1 uint64) error {
 	if at < e.now {
-		return fmt.Errorf("%w: at=%d now=%d", ErrPastEvent, at, e.now)
+		return fmt.Errorf("%w: at=%d now=%d", ErrPastEvent, at, e.now) //cohort:allow hotalloc: scheduling-in-the-past error path; the run aborts
 	}
 	e.pushKind(at, kind, recv, p0, p1)
 	return nil
@@ -145,6 +147,8 @@ func (e *Engine) pushKind(at Cycle, kind Kind, recv int32, p0, p1 uint64) {
 
 // Step executes the earliest pending event, advancing time to its cycle.
 // It reports whether an event was executed.
+//
+//cohort:hotpath
 func (e *Engine) Step() bool {
 	if e.queue.len() == 0 {
 		return false
@@ -164,10 +168,12 @@ func (e *Engine) Step() bool {
 }
 
 // Run executes events until the queue drains or the cycle budget is hit.
+//
+//cohort:hotpath
 func (e *Engine) Run() error {
 	for e.queue.len() > 0 {
 		if e.budget > 0 && e.queue.s[0].at > e.budget {
-			return fmt.Errorf("%w: next event at %d, budget %d", ErrBudgetExceeded, e.queue.s[0].at, e.budget)
+			return fmt.Errorf("%w: next event at %d, budget %d", ErrBudgetExceeded, e.queue.s[0].at, e.budget) //cohort:allow hotalloc: budget-exhaustion error path; the run stops
 		}
 		e.Step()
 	}
@@ -176,6 +182,8 @@ func (e *Engine) Run() error {
 
 // RunUntil executes events with timestamps ≤ deadline, leaving later events
 // queued, and advances time to deadline.
+//
+//cohort:hotpath
 func (e *Engine) RunUntil(deadline Cycle) {
 	for e.queue.len() > 0 && e.queue.s[0].at <= deadline {
 		e.Step()
