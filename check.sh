@@ -26,11 +26,29 @@ go test -race ./internal/parallel ./internal/opt ./internal/experiments
 echo "==> cohort-bench fig5a -j 8 smoke"
 go run ./cmd/cohort-bench -run fig5a -j 8 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 >/dev/null
 
-echo "==> observability smoke (manifest + report gate)"
+echo "==> batched-vs-scalar fuzz seeds (committed corpus)"
+go test -run FuzzBatchVsScalar ./internal/analysis
+
+echo "==> coverage gate (internal/sim + internal/opt combined, pre-PR7 floor 93.7%)"
+covdir="$(mktemp -d)"
+go test -coverprofile "$covdir/cover.out" ./internal/sim ./internal/opt >/dev/null
+go tool cover -func "$covdir/cover.out" | awk '
+  /^total:/ {
+    sub(/%/, "", $3)
+    printf "    combined coverage: %s%%\n", $3
+    if ($3 + 0 < 93.7) { print "    FAIL: below 93.7% floor"; exit 1 }
+  }'
+rm -rf "$covdir"
+
+echo "==> observability smoke (manifest + report gate, scalar and batched oracle)"
 obsdir="$(mktemp -d)"
 trap 'rm -rf "$obsdir"' EXIT
 go run ./cmd/cohort-bench -run fig5a -j 1 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
 go run ./cmd/cohort-bench -run fig5a -j 8 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
+# The batched-oracle run lands in the same directory under the same config
+# key, so -check and the fingerprint diff below gate batched ≡ scalar on the
+# full CLI path, not just in unit tests.
+go run ./cmd/cohort-bench -run fig5a -j 1 -batch 16 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
 go run ./cmd/cohort-report -dir "$obsdir" -check >/dev/null
 
 echo "==> perf smoke (bit-identical fingerprints vs pre-overhaul goldens)"

@@ -58,6 +58,7 @@ func run(args []string, stdout io.Writer, clk obs.Clock) error {
 		gens       = fs.Int("gens", 16, "GA generations")
 		md         = fs.Bool("md", false, "emit markdown tables")
 		jobs       = fs.Int("j", 0, "evaluation workers (1 = serial, <1 = NumCPU); output is identical for every value")
+		batch      = fs.Int("batch", 0, "analysis-oracle batch width (0 or 1 = scalar oracle, >=2 = batched SoA oracle); output is identical for every value")
 		memoStats  = fs.Bool("memo-stats", false, "report memo-cache counters on stderr (counters are scheduling-dependent, never part of the tables)")
 		outDir     = fs.String("out-dir", "", "write a run manifest and a Chrome trace (Perfetto) into this directory")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -103,6 +104,11 @@ func run(args []string, stdout io.Writer, clk obs.Clock) error {
 	o.GA.Pop, o.GA.Generations = *pop, *gens
 	o.Jobs = *jobs
 	o.GA.Workers = *jobs
+	// Like the worker count, the oracle batch width changes only the cost of
+	// a run, never its results — it is excluded from benchConfigKey so scalar
+	// and batched runs of one configuration share a key and cohort-report can
+	// diff them.
+	o.GA.OracleBatch = *batch
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -293,6 +299,7 @@ func run(args []string, stdout io.Writer, clk obs.Clock) error {
 		man.Traces = refs
 		man.Seed = int64(*seed)
 		man.Workers = parallel.DefaultWorkers(*jobs)
+		man.OracleBatch = *batch
 		man.Engine = &engine
 		man.Metrics = o.Metrics.Snapshot()
 		man.Finish(clk)

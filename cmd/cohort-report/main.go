@@ -49,6 +49,7 @@ type Group struct {
 // RunRow summarizes one manifest.
 type RunRow struct {
 	Workers     int                `json:"workers"`
+	OracleBatch int                `json:"oracle_batch,omitempty"`
 	Seed        int64              `json:"seed"`
 	StartedAt   string             `json:"started_at"`
 	WallSeconds float64            `json:"wall_seconds"`
@@ -70,6 +71,7 @@ type TrajectoryEntry struct {
 	Tool        string             `json:"tool"`
 	ConfigKey   string             `json:"config_key"`
 	Workers     int                `json:"workers"`
+	OracleBatch int                `json:"oracle_batch,omitempty"`
 	NumCPU      int                `json:"num_cpu,omitempty"`
 	GoMaxProcs  int                `json:"gomaxprocs,omitempty"`
 	StartedAt   string             `json:"started_at"`
@@ -205,6 +207,7 @@ func merge(ms []*obs.Manifest) *Report {
 			}
 			g.Runs = append(g.Runs, RunRow{
 				Workers:     m.Workers,
+				OracleBatch: m.OracleBatch,
 				Seed:        m.Seed,
 				StartedAt:   m.StartedAt,
 				WallSeconds: m.WallSeconds,
@@ -226,7 +229,7 @@ func render(w io.Writer, rep *Report, md bool) {
 	for _, g := range rep.Groups {
 		t := stats.NewTable(
 			fmt.Sprintf("%s @ %s", g.Tool, obs.ShortKey(g.ConfigKey)),
-			"workers", "seed", "started", "wall s", "engine jobs", "hits", "misses", "metrics")
+			"workers", "batch", "seed", "started", "wall s", "engine jobs", "hits", "misses", "metrics")
 		for _, r := range g.Runs {
 			jobs, hits, misses := "-", "-", "-"
 			if r.Engine != nil {
@@ -234,7 +237,11 @@ func render(w io.Writer, rep *Report, md bool) {
 				hits = fmt.Sprintf("%d", r.Engine.CacheHits)
 				misses = fmt.Sprintf("%d", r.Engine.CacheMisses)
 			}
-			t.AddRow(fmt.Sprintf("%d", r.Workers), fmt.Sprintf("%d", r.Seed), r.StartedAt,
+			batch := "-" // scalar oracle
+			if r.OracleBatch > 1 {
+				batch = fmt.Sprintf("%d", r.OracleBatch)
+			}
+			t.AddRow(fmt.Sprintf("%d", r.Workers), batch, fmt.Sprintf("%d", r.Seed), r.StartedAt,
 				fmt.Sprintf("%.2f", r.WallSeconds), jobs, hits, misses, fmt.Sprintf("%d", r.Metrics))
 		}
 		if md {
@@ -252,7 +259,8 @@ func render(w io.Writer, rep *Report, md bool) {
 
 // appendTrajectory appends one entry per manifest to the perf-trajectory
 // file, creating it when absent. Exact duplicates (same tool, key, workers,
-// start time) are dropped so re-running the report is idempotent.
+// oracle batch, start time) are dropped so re-running the report is
+// idempotent.
 func appendTrajectory(path string, ms []*obs.Manifest) error {
 	traj := &Trajectory{Schema: TrajectorySchema}
 	if b, err := os.ReadFile(path); err == nil {
@@ -274,6 +282,7 @@ func appendTrajectory(path string, ms []*obs.Manifest) error {
 			Tool:        m.Tool,
 			ConfigKey:   m.ConfigKey,
 			Workers:     m.Workers,
+			OracleBatch: m.OracleBatch,
 			StartedAt:   m.StartedAt,
 			WallSeconds: m.WallSeconds,
 			Engine:      m.Engine,
@@ -309,5 +318,5 @@ func appendTrajectory(path string, ms []*obs.Manifest) error {
 }
 
 func trajID(e TrajectoryEntry) string {
-	return fmt.Sprintf("%s\x00%s\x00%d\x00%s", e.Tool, e.ConfigKey, e.Workers, e.StartedAt)
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%s", e.Tool, e.ConfigKey, e.Workers, e.OracleBatch, e.StartedAt)
 }

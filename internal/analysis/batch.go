@@ -1,0 +1,316 @@
+// Batched in-isolation cache analysis: the structure-of-arrays twin of
+// GuaranteedHits. The requirement-aware optimizer evaluates whole populations
+// of timer vectors against the *same* workload streams, and the scalar oracle
+// re-decodes and re-drives each stream once per configuration — the dominant
+// cost in opt.BenchmarkOptimize. BatchAnalyzer walks a stream once and fans
+// every access across N per-configuration state columns (cache entries, timer
+// window, isolation clock, hit/miss counters), so the shared work — address
+// decomposition, set indexing, the access kind — is paid once per access
+// instead of once per access per configuration, and the per-call cache.New
+// allocation of the scalar path disappears entirely (column state is
+// preallocated via Reserve and reused across calls).
+//
+// The kernel is a transcription, not a reinterpretation: every branch of
+// GuaranteedHits — the guarantee window test, the upgrade rule, in-place
+// re-fill, invalid-first victim selection, strict-LRU eviction with
+// lowest-way tie-break — is reproduced per column, so column i's result is
+// bit-identical to GuaranteedHits(s, geom, lat, thetas[i], wcl). The
+// differential suite (batch_test.go) and FuzzBatchVsScalar enforce that
+// equivalence across geometries, batch widths and access patterns.
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cohort/internal/cache"
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+// batchEntry is one cache-line slot of one configuration column. It mirrors
+// cache.Entry minus the Version field, which the in-isolation analysis never
+// reads or writes.
+type batchEntry struct {
+	lineAddr  uint64
+	fetchedAt int64
+	lastUse   uint64
+	state     cache.State
+}
+
+// BatchAnalyzer evaluates a batch of timer configurations against one access
+// stream in a single walk. The zero value is not usable; build one with
+// NewBatchAnalyzer. An analyzer may be reused across any number of calls
+// (state is re-zeroed per call and backing grows to its high-water mark),
+// but it is not safe for concurrent use — give each worker its own.
+type BatchAnalyzer struct {
+	lineShift uint
+	setMask   uint64
+	sets      int
+	ways      int
+
+	// ents holds the per-column cache arrays interleaved by column:
+	// slot (set, way) of column c lives at (set*ways+way)*width + c, so the
+	// slots every column touches for one access are contiguous.
+	ents  []batchEntry
+	width int // column count the slab is laid out for
+
+	// Per-column scalar state (structure of arrays).
+	now      []int64
+	winEnd   []int64 // window length (θ) per column; -1 marks an inactive (untimed) column
+	hits     []int64
+	misses   []int64
+	useClock []uint64
+	active   []int32 // indices of timed columns, in column order
+}
+
+// NewBatchAnalyzer builds an analyzer for one private-cache geometry. The
+// geometry must satisfy the same constraints cache.New enforces (power-of-two
+// line size and set count); violations panic, as they do there.
+func NewBatchAnalyzer(geom config.CacheGeometry) *BatchAnalyzer {
+	if geom.SizeBytes <= 0 || geom.LineBytes <= 0 || geom.Ways <= 0 {
+		panic("analysis: non-positive batch geometry")
+	}
+	if bits.OnesCount(uint(geom.LineBytes)) != 1 {
+		panic(fmt.Sprintf("analysis: line size %d not a power of two", geom.LineBytes))
+	}
+	nSets := geom.SizeBytes / (geom.LineBytes * geom.Ways)
+	if nSets <= 0 || bits.OnesCount(uint(nSets)) != 1 {
+		panic(fmt.Sprintf("analysis: set count %d not a positive power of two", nSets))
+	}
+	return &BatchAnalyzer{
+		lineShift: uint(bits.TrailingZeros(uint(geom.LineBytes))),
+		setMask:   uint64(nSets - 1),
+		sets:      nSets,
+		ways:      geom.Ways,
+	}
+}
+
+// Reserve preallocates column state for batches of up to width
+// configurations, so later calls at or below that width perform no
+// allocations.
+func (b *BatchAnalyzer) Reserve(width int) {
+	if width > b.width {
+		b.grow(width)
+	}
+}
+
+// grow reallocates the slab and scalar columns for the given width.
+func (b *BatchAnalyzer) grow(width int) {
+	b.ents = make([]batchEntry, b.sets*b.ways*width)
+	b.now = make([]int64, width)
+	b.winEnd = make([]int64, width)
+	b.hits = make([]int64, width)
+	b.misses = make([]int64, width)
+	b.useClock = make([]uint64, width)
+	b.active = make([]int32, 0, width)
+	b.width = width
+}
+
+// GuaranteedHitsBatch computes GuaranteedHits for every column in one stream
+// walk: hits[i], misses[i] receive the guaranteed hit/miss split of
+// thetas[i], bit-identical to GuaranteedHits(s, geom, lat, thetas[i], wcl).
+// hits and misses must have len(thetas) entries. Untimed columns
+// (θ ≤ 0) classify every access a miss without participating in the walk,
+// exactly like the scalar early return.
+func (b *BatchAnalyzer) GuaranteedHitsBatch(s trace.Stream, lat config.Latencies, thetas []config.Timer, wcl int64, hits, misses []int64) {
+	if len(hits) != len(thetas) || len(misses) != len(thetas) {
+		panic(fmt.Sprintf("analysis: batch outputs %d/%d for %d columns", len(hits), len(misses), len(thetas)))
+	}
+	if len(thetas) > b.width {
+		b.grow(len(thetas))
+	}
+	b.active = b.active[:0]
+	for c, th := range thetas {
+		if !th.Timed() {
+			hits[c], misses[c] = 0, int64(len(s))
+			b.winEnd[c] = -1
+			continue
+		}
+		if wcl <= 0 {
+			// Same guard, same message as the scalar kernel.
+			panic(fmt.Sprintf("analysis: non-positive WCL %d", wcl))
+		}
+		b.winEnd[c] = int64(th)
+		b.now[c] = 0
+		b.hits[c] = 0
+		b.misses[c] = 0
+		b.useClock[c] = 0
+		b.active = append(b.active, int32(c))
+	}
+	if len(b.active) > 0 {
+		clear(b.ents[:b.sets*b.ways*b.width])
+		b.run(s, lat.Hit, wcl)
+	}
+	for _, c := range b.active {
+		hits[c], misses[c] = b.hits[c], b.misses[c]
+	}
+}
+
+// IsolationHitsBatch is the batched form of IsolationHits: the in-isolation
+// analysis with misses priced at one uncontended slot (SW).
+func (b *BatchAnalyzer) IsolationHitsBatch(s trace.Stream, lat config.Latencies, thetas []config.Timer, hits, misses []int64) {
+	b.GuaranteedHitsBatch(s, lat, thetas, lat.SlotWidth(), hits, misses)
+}
+
+// TimerSample is one oracle sample produced during a saturation sweep: the
+// guaranteed hit/miss split of one timer, under the in-isolation per-miss
+// cost (one slot). Callers memoizing IsolationHits results can seed their
+// memo from these.
+type TimerSample struct {
+	Theta        config.Timer
+	Hits, Misses int64
+}
+
+// satGrid is SaturationTimer's evaluation grid: the saturation reference
+// (TimerMax), the lower anchor (1), and the scalar sweep's doubling ladder.
+// The scalar sweep evaluates these lazily, one full stream walk each; the
+// batched sweep evaluates the whole grid in a single walk.
+var satGrid = func() []config.Timer {
+	g := []config.Timer{config.TimerMax, 1}
+	for th := config.Timer(2); th < config.TimerMax; th *= 2 {
+		g = append(g, th)
+	}
+	return g
+}()
+
+// SaturationTimer is the batched form of the package-level SaturationTimer:
+// same result — the smallest swept θ reaching the saturation hit count, and
+// that count — via the same doubling-grid + binary-search decision sequence,
+// but with the entire grid evaluated in one stream walk and each refinement
+// midpoint as a single-column batch (no per-evaluation cache allocation).
+// The returned samples record every (θ → hits, misses) oracle evaluation the
+// sweep performed, grid points first, refinement midpoints after, so callers
+// can seed an IsolationHits memo for free.
+func (b *BatchAnalyzer) SaturationTimer(s trace.Stream, lat config.Latencies) (config.Timer, int64, []TimerSample) {
+	wcl := lat.SlotWidth()
+	hits := make([]int64, len(satGrid))
+	misses := make([]int64, len(satGrid))
+	b.GuaranteedHitsBatch(s, lat, satGrid, wcl, hits, misses)
+	samples := make([]TimerSample, len(satGrid), len(satGrid)+16)
+	for k := range satGrid {
+		samples[k] = TimerSample{Theta: satGrid[k], Hits: hits[k], Misses: misses[k]}
+	}
+	var (
+		oneTheta [1]config.Timer
+		oneHit   [1]int64
+		oneMiss  [1]int64
+	)
+	evalOne := func(th config.Timer) int64 {
+		oneTheta[0] = th
+		b.GuaranteedHitsBatch(s, lat, oneTheta[:], wcl, oneHit[:], oneMiss[:])
+		samples = append(samples, TimerSample{Theta: th, Hits: oneHit[0], Misses: oneMiss[0]})
+		return oneHit[0]
+	}
+	maxHits := hits[0] // grid[0] = TimerMax
+	if maxHits == hits[1] {
+		return 1, maxHits, samples
+	}
+	// Doubling to find the first grid point reaching saturation — the same
+	// decision sequence as the scalar sweep, read off the prefilled grid.
+	lo, hi := config.Timer(1), config.TimerMax
+	for k := 2; k < len(satGrid); k++ {
+		if hits[k] >= maxHits {
+			hi = satGrid[k]
+			break
+		}
+		lo = satGrid[k]
+	}
+	// Binary search the smallest saturating θ in (lo, hi].
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if evalOne(mid) >= maxHits {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, maxHits, samples
+}
+
+// run is the batched replay loop: one pass over the stream, fanning each
+// decoded access across the active columns. All state is preallocated by the
+// caller; the loop itself is allocation-free.
+//
+//cohort:hotpath
+func (b *BatchAnalyzer) run(s trace.Stream, latHit, wcl int64) {
+	ways := b.ways
+	ents := b.ents
+	stride := b.width // row stride in columns (slab layout width)
+	for ai := range s {
+		a := &s[ai]
+		// Shared per-access decode: address decomposition and kind are
+		// identical for every column.
+		line := a.Addr >> b.lineShift
+		row := int(line&b.setMask) * ways * stride
+		isRead := a.Kind == trace.Read
+		gap := a.Gap
+		for _, c32 := range b.active {
+			c := int(c32)
+			now := b.now[c] + gap
+			// Lookup: first valid slot holding the line, in way order.
+			hit := -1
+			for w := 0; w < ways; w++ {
+				e := &ents[row+w*stride+c]
+				if e.state != cache.Invalid && e.lineAddr == line {
+					hit = w
+					break
+				}
+			}
+			if hit >= 0 {
+				e := &ents[row+hit*stride+c]
+				if now <= e.fetchedAt+b.winEnd[c] && (isRead || e.state == cache.Modified) {
+					// Guaranteed hit: hit latency, refresh recency.
+					b.hits[c]++
+					now += latHit
+					b.useClock[c]++
+					e.lastUse = b.useClock[c]
+					b.now[c] = now
+					continue
+				}
+				// Present but outside the window (or an upgrade): miss,
+				// re-fill in place with a fresh window.
+				b.misses[c]++
+				now += wcl
+				st := cache.Shared
+				if !isRead {
+					st = cache.Modified
+				}
+				e.lineAddr = line
+				e.state = st
+				e.fetchedAt = now
+				b.useClock[c]++
+				e.lastUse = b.useClock[c]
+				b.now[c] = now
+				continue
+			}
+			// Miss with the line absent: victim is the first invalid way,
+			// else the least-recently-used way (strict <, so the lowest way
+			// wins ties — exactly cache.VictimFor with no pinning).
+			b.misses[c]++
+			now += wcl
+			victim := -1
+			for w := 0; w < ways; w++ {
+				e := &ents[row+w*stride+c]
+				if e.state == cache.Invalid {
+					victim = w
+					break
+				}
+				if victim == -1 || e.lastUse < ents[row+victim*stride+c].lastUse {
+					victim = w
+				}
+			}
+			e := &ents[row+victim*stride+c]
+			st := cache.Shared
+			if !isRead {
+				st = cache.Modified
+			}
+			e.lineAddr = line
+			e.state = st
+			e.fetchedAt = now
+			b.useClock[c]++
+			e.lastUse = b.useClock[c]
+			b.now[c] = now
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"testing"
+
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+// batchGeoms spans the geometries the batch kernel must reproduce exactly:
+// the paper's direct-mapped L1, a set-associative variant (exercising LRU
+// victim selection and way-order tie-breaks), and a tiny cache that forces
+// heavy eviction traffic.
+var batchGeoms = []config.CacheGeometry{
+	{SizeBytes: 16 * 1024, LineBytes: 64, Ways: 1},
+	{SizeBytes: 8 * 1024, LineBytes: 64, Ways: 4},
+	{SizeBytes: 512, LineBytes: 64, Ways: 2},
+}
+
+// batchThetas covers every timer class: MSI (−1), no-cache (0), tiny,
+// moderate, huge, and the architectural maximum — plus duplicates, which a
+// batched kernel must keep independent per column.
+var batchThetas = []config.Timer{config.TimerMSI, config.TimerNoCache, 1, 3, 57, 400, 5000, config.TimerMax, 57}
+
+func batchStream(name string, seed uint64, t *testing.T) trace.Stream {
+	p, err := trace.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Scaled(0.01).Generate(2, 64, seed)
+	return tr.Streams[0]
+}
+
+// TestBatchGuaranteedHitsDifferential is the bit-identity proof at unit
+// level: for every geometry × batch width × seed, each column of the batched
+// kernel must equal the scalar GuaranteedHits for that column's timer.
+func TestBatchGuaranteedHitsDifferential(t *testing.T) {
+	lat := config.Latencies{Hit: 1, Req: 4, Data: 50, DRAM: 100}
+	for _, geom := range batchGeoms {
+		ba := NewBatchAnalyzer(geom)
+		for _, seed := range []uint64{1, 42, 7777} {
+			s := batchStream("fft", seed, t)
+			for _, width := range []int{1, 2, 7, 64} {
+				thetas := make([]config.Timer, width)
+				for i := range thetas {
+					thetas[i] = batchThetas[i%len(batchThetas)]
+				}
+				for _, wcl := range []int64{lat.SlotWidth(), 1, 977} {
+					hits := make([]int64, width)
+					misses := make([]int64, width)
+					ba.GuaranteedHitsBatch(s, lat, thetas, wcl, hits, misses)
+					for c, th := range thetas {
+						wantH, wantM := GuaranteedHits(s, geom, lat, th, wcl)
+						if hits[c] != wantH || misses[c] != wantM {
+							t.Fatalf("geom %+v seed %d width %d wcl %d col %d θ=%v: batch (%d,%d) != scalar (%d,%d)",
+								geom, seed, width, wcl, c, th, hits[c], misses[c], wantH, wantM)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchAnalyzerReuse proves an analyzer is stateless across calls: the
+// same batch evaluated after an unrelated batch (different width, different
+// stream) must reproduce its first-run results exactly.
+func TestBatchAnalyzerReuse(t *testing.T) {
+	lat := config.Latencies{Hit: 1, Req: 4, Data: 50}
+	geom := batchGeoms[0]
+	ba := NewBatchAnalyzer(geom)
+	s1 := batchStream("fft", 1, t)
+	s2 := batchStream("water", 9, t)
+	thetas := []config.Timer{1, 33, 900, config.TimerMSI}
+	run := func(s trace.Stream) ([]int64, []int64) {
+		hits := make([]int64, len(thetas))
+		misses := make([]int64, len(thetas))
+		ba.IsolationHitsBatch(s, lat, thetas, hits, misses)
+		return hits, misses
+	}
+	h1a, m1a := run(s1)
+	// Pollute with a wider batch over another stream, then re-run.
+	wide := make([]config.Timer, 32)
+	for i := range wide {
+		wide[i] = config.Timer(i)
+	}
+	ba.GuaranteedHitsBatch(s2, lat, wide, 7, make([]int64, 32), make([]int64, 32))
+	h1b, m1b := run(s1)
+	for c := range thetas {
+		if h1a[c] != h1b[c] || m1a[c] != m1b[c] {
+			t.Fatalf("col %d: reuse changed result (%d,%d) -> (%d,%d)", c, h1a[c], m1a[c], h1b[c], m1b[c])
+		}
+	}
+}
+
+// TestBatchAnalyzerReserveNoRealloc pins the preallocation contract: after
+// Reserve(width), a batch at that width must not grow the slab (observable
+// via the capacity staying put).
+func TestBatchAnalyzerReserveNoRealloc(t *testing.T) {
+	geom := batchGeoms[0]
+	ba := NewBatchAnalyzer(geom)
+	ba.Reserve(16)
+	slab := &ba.ents[0]
+	s := batchStream("fft", 3, t)
+	lat := config.Latencies{Hit: 1, Req: 4, Data: 50}
+	thetas := make([]config.Timer, 16)
+	for i := range thetas {
+		thetas[i] = config.Timer(i + 1)
+	}
+	ba.IsolationHitsBatch(s, lat, thetas, make([]int64, 16), make([]int64, 16))
+	if &ba.ents[0] != slab {
+		t.Fatal("batch at reserved width reallocated the slab")
+	}
+}
+
+// TestBatchAnalyzerPanicsMatchScalar pins panic parity: a timed column with a
+// non-positive WCL must panic exactly like GuaranteedHits; untimed columns
+// alone must not.
+func TestBatchAnalyzerPanicsMatchScalar(t *testing.T) {
+	geom := batchGeoms[0]
+	lat := config.Latencies{Hit: 1, Req: 4, Data: 50}
+	s := batchStream("fft", 1, t)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("timed column with WCL 0 did not panic")
+			}
+		}()
+		NewBatchAnalyzer(geom).GuaranteedHitsBatch(s, lat, []config.Timer{5}, 0, make([]int64, 1), make([]int64, 1))
+	}()
+
+	// Untimed-only batches never consult the WCL (scalar early-returns).
+	hits := make([]int64, 2)
+	misses := make([]int64, 2)
+	NewBatchAnalyzer(geom).GuaranteedHitsBatch(s, lat, []config.Timer{config.TimerMSI, config.TimerNoCache}, 0, hits, misses)
+	for c := range hits {
+		if hits[c] != 0 || misses[c] != int64(len(s)) {
+			t.Fatalf("untimed col %d: (%d,%d), want (0,%d)", c, hits[c], misses[c], len(s))
+		}
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched output lengths did not panic")
+			}
+		}()
+		NewBatchAnalyzer(geom).GuaranteedHitsBatch(s, lat, []config.Timer{5}, 1, nil, nil)
+	}()
+}
+
+// TestBatchSaturationTimerDifferential proves the batched saturation sweep
+// reproduces the scalar sweep's result exactly, and that every sample it
+// reports is a valid IsolationHits evaluation (usable as a memo seed).
+func TestBatchSaturationTimerDifferential(t *testing.T) {
+	lat := config.Latencies{Hit: 1, Req: 4, Data: 50, DRAM: 100}
+	for _, geom := range batchGeoms {
+		ba := NewBatchAnalyzer(geom)
+		for _, name := range []string{"fft", "water"} {
+			for _, seed := range []uint64{1, 42, 7777} {
+				s := batchStream(name, seed, t)
+				wantTh, wantHits := SaturationTimer(s, geom, lat)
+				gotTh, gotHits, samples := ba.SaturationTimer(s, lat)
+				if gotTh != wantTh || gotHits != wantHits {
+					t.Fatalf("geom %+v %s/%d: batched sweep (θ=%v, hits=%d) != scalar (θ=%v, hits=%d)",
+						geom, name, seed, gotTh, gotHits, wantTh, wantHits)
+				}
+				for _, smp := range samples {
+					h, m := IsolationHits(s, geom, lat, smp.Theta)
+					if smp.Hits != h || smp.Misses != m {
+						t.Fatalf("geom %+v %s/%d θ=%v: sample (%d,%d) != IsolationHits (%d,%d)",
+							geom, name, seed, smp.Theta, smp.Hits, smp.Misses, h, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkIsolationHitsScalar and BenchmarkIsolationHitsBatch quantify the
+// amortization: the scalar column runs GuaranteedHits once per timer, the
+// batched column evaluates all timers in one walk.
+func benchThetas(n int) []config.Timer {
+	out := make([]config.Timer, n)
+	for i := range out {
+		out[i] = config.Timer(1 + 37*i)
+	}
+	return out
+}
+
+func BenchmarkIsolationHitsScalar(b *testing.B) {
+	lat := config.Latencies{Hit: 1, Req: 4, Data: 50}
+	geom := batchGeoms[0]
+	p, _ := trace.ProfileByName("fft")
+	s := p.Scaled(0.01).Generate(2, 64, 21).Streams[0]
+	thetas := benchThetas(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, th := range thetas {
+			IsolationHits(s, geom, lat, th)
+		}
+	}
+}
+
+func BenchmarkIsolationHitsBatch(b *testing.B) {
+	lat := config.Latencies{Hit: 1, Req: 4, Data: 50}
+	geom := batchGeoms[0]
+	p, _ := trace.ProfileByName("fft")
+	s := p.Scaled(0.01).Generate(2, 64, 21).Streams[0]
+	thetas := benchThetas(16)
+	ba := NewBatchAnalyzer(geom)
+	ba.Reserve(len(thetas))
+	hits := make([]int64, len(thetas))
+	misses := make([]int64, len(thetas))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ba.IsolationHitsBatch(s, lat, thetas, hits, misses)
+	}
+}

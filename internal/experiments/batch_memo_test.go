@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The harness-level batching contract: GAConfig.OracleBatch, like Workers,
+// is excluded from every memo key, so a batched run renders identically to a
+// scalar run AND addresses the same cache entries.
+
+// TestFig5BatchGridEquivalence renders Fig. 5 across the Jobs × OracleBatch
+// grid from a cold memo each time; every cell must render byte-identically
+// and perform the same number of memo jobs. The full hit/miss split is
+// compared on the serial cells only — with racing cells it is legitimately
+// scheduling-dependent (see memo.go).
+func TestFig5BatchGridEquivalence(t *testing.T) {
+	render := func(jobs, batch int) (string, int64, int64, int64) {
+		o := QuickOptions()
+		o.Jobs, o.GA.Workers, o.GA.OracleBatch = jobs, jobs, batch
+		ResetMemo()
+		res, err := Fig5(o, "2cr-2ncr")
+		if err != nil {
+			t.Fatalf("jobs %d batch %d: %v", jobs, batch, err)
+		}
+		ms := MemoStats()
+		return res.Render().String() + res.Summary(), ms.Jobs, ms.CacheHits, ms.CacheMisses
+	}
+	refOut, refJobs, refHits, refMisses := render(1, 0)
+	for _, jobs := range []int{1, 8} {
+		for _, batch := range []int{0, 1, 2, 16, 64} {
+			out, j, h, m := render(jobs, batch)
+			if out != refOut {
+				t.Errorf("jobs %d batch %d: rendered output differs from serial scalar run", jobs, batch)
+			}
+			if j != refJobs {
+				t.Errorf("jobs %d batch %d: memo jobs %d, want %d", jobs, batch, j, refJobs)
+			}
+			if jobs == 1 && (h != refHits || m != refMisses) {
+				t.Errorf("serial batch %d: memo split (%d,%d), want (%d,%d)", batch, h, m, refHits, refMisses)
+			}
+		}
+	}
+}
+
+// TestOptimizeMemoKeyBatchIndependent is the sharp form of the key property:
+// a batched re-run in a warm process must be served entirely from the memo
+// populated by a scalar run. Any OracleBatch leakage into the optimizeTimers
+// or runSystem keys would show up as a fresh cache miss.
+func TestOptimizeMemoKeyBatchIndependent(t *testing.T) {
+	o := QuickOptions()
+	o.Jobs, o.GA.Workers = 1, 1
+	ResetMemo()
+	cold, err := Fig5(o, "all-cr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := MemoStats()
+	o.GA.OracleBatch = 16
+	warm, err := Fig5(o, "all-cr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MemoStats(); got.CacheMisses != after.CacheMisses {
+		t.Fatalf("batched re-run computed %d fresh cells; OracleBatch leaked into a memo key",
+			got.CacheMisses-after.CacheMisses)
+	}
+	if cold.Render().String() != warm.Render().String() {
+		t.Fatal("memo-served batched run rendered differently")
+	}
+}

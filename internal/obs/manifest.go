@@ -62,8 +62,9 @@ func CaptureHost() *HostInfo {
 }
 
 // Manifest describes one CLI invocation: what ran (tool, args, config
-// fingerprint, input traces, seed, workers), when and for how long (the
-// only wall-clock fields in the repository), and what it measured (engine
+// fingerprint, input traces, seed, workers, oracle batch width), when and
+// for how long (the only wall-clock fields in the repository), and what it
+// measured (engine
 // counters and the full metrics snapshot). Manifests are the unit of
 // comparison for cmd/cohort-report.
 type Manifest struct {
@@ -74,6 +75,7 @@ type Manifest struct {
 	Traces      []TraceRef         `json:"traces,omitempty"`
 	Seed        int64              `json:"seed"`
 	Workers     int                `json:"workers"`
+	OracleBatch int                `json:"oracle_batch,omitempty"`
 	StartedAt   string             `json:"started_at"`
 	WallSeconds float64            `json:"wall_seconds"`
 	Host        *HostInfo          `json:"host,omitempty"`
@@ -83,12 +85,16 @@ type Manifest struct {
 }
 
 // NewManifest returns a manifest stamped with the schema, tool name and
-// start time read from clk.
+// start time read from clk. The start time keeps nanosecond precision:
+// Finish subtracts it from the finish time, and sub-second runs would
+// otherwise report the clock's second-fraction as their wall time.
+// time.Parse with the RFC3339 layout accepts the fractional seconds, so
+// manifests written at either precision validate and compare identically.
 func NewManifest(tool string, clk Clock) *Manifest {
 	return &Manifest{
 		Schema:    ManifestSchema,
 		Tool:      tool,
-		StartedAt: clk.Now().UTC().Format(time.RFC3339),
+		StartedAt: clk.Now().UTC().Format(time.RFC3339Nano),
 		Host:      CaptureHost(),
 	}
 }
@@ -130,6 +136,9 @@ func (m *Manifest) Validate() error {
 	}
 	if m.Workers < 1 {
 		return fmt.Errorf("manifest: workers %d < 1", m.Workers)
+	}
+	if m.OracleBatch < 0 {
+		return fmt.Errorf("manifest: negative oracle_batch %d", m.OracleBatch)
 	}
 	if _, err := time.Parse(time.RFC3339, m.StartedAt); err != nil {
 		return fmt.Errorf("manifest: started_at: %v", err)

@@ -1,0 +1,138 @@
+package opt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cohort/internal/config"
+	"cohort/internal/parallel"
+)
+
+// Property tests for the invariants batching must not disturb: the
+// genome-level memo key is a pure function of the timer vector (so scalar
+// and batched runs address the same cache entries), job seeding is a pure
+// function of (base, index) (so no batched fan-out can perturb RNG streams),
+// and the evaluator's per-core memo content and counters are a pure function
+// of the genome sequence.
+
+func TestGenomeKeyPureFunction(t *testing.T) {
+	prop := func(raw []int16) bool {
+		timers := make([]config.Timer, len(raw))
+		for i, v := range raw {
+			timers[i] = config.Timer(v)
+		}
+		clone := append([]config.Timer(nil), timers...)
+		if genomeKey(timers) != genomeKey(clone) {
+			return false
+		}
+		if len(timers) > 0 {
+			mutated := append([]config.Timer(nil), timers...)
+			mutated[len(mutated)/2]++
+			if genomeKey(mutated) == genomeKey(timers) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Vector length is part of the key: a vector must never collide with its own
+// prefix (the classic concatenation ambiguity).
+func TestGenomeKeyLengthDomainSeparated(t *testing.T) {
+	v := []config.Timer{3, 5, 9}
+	if genomeKey(v) == genomeKey(v[:2]) {
+		t.Fatal("genome key collides with its prefix")
+	}
+}
+
+func TestJobSeedIndexPure(t *testing.T) {
+	prop := func(base uint64, index uint16) bool {
+		return parallel.JobSeed(base, int(index)) == parallel.JobSeed(base, int(index))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+	// No collisions across a realistic index range for a fixed base: a
+	// collision would make two jobs share an RNG stream.
+	seen := make(map[uint64]int, 1<<14)
+	for i := 0; i < 1<<14; i++ {
+		s := parallel.JobSeed(42, i)
+		if j, ok := seen[s]; ok {
+			t.Fatalf("JobSeed(42, %d) == JobSeed(42, %d)", i, j)
+		}
+		seen[s] = i
+	}
+}
+
+// TestEvaluatorCoreMemoDeterministic drives identical genome sequences
+// through evaluators at every Workers × OracleBatch combination and asserts
+// the observable state — evaluations returned, genome-cache counters,
+// computed count, and the per-core memo content — is identical everywhere.
+func TestEvaluatorCoreMemoDeterministic(t *testing.T) {
+	p := problemFor("fft", 0.01, []bool{true, true, false, true})
+	// Three batches with deliberate overlap (cross-batch memo hits) and
+	// shared genes across genomes (per-core memo hits).
+	sequences := [][][]config.Timer{
+		{{1, 1, 1}, {5, 9, 13}, {5, 9, 13}, {1, 9, 13}},
+		{{5, 9, 13}, {7, 9, 2}},
+		{{1, 1, 1}, {7, 1, 2}, {4000, 17, 23}},
+	}
+	type snapshot struct {
+		evals    [][]Evaluation
+		computed int
+		jobs     int64
+		hits     int64
+		misses   int64
+		memo     []map[config.Timer][2]int64
+	}
+	run := func(workers, oracleBatch int) snapshot {
+		e := newEvaluator(p, workers, oracleBatch)
+		var evals [][]Evaluation
+		for _, seq := range sequences {
+			evals = append(evals, e.batch(seq))
+		}
+		st := e.cache.Stats()
+		return snapshot{
+			evals:    evals,
+			computed: e.computed,
+			jobs:     st.Jobs,
+			hits:     st.CacheHits,
+			misses:   st.CacheMisses,
+			memo:     e.coreMemo,
+		}
+	}
+	ref := run(1, 2)
+	if len(ref.memo) == 0 || len(ref.memo[0]) == 0 {
+		t.Fatal("batched reference evaluator built no per-core memo")
+	}
+	scalar := run(1, 0)
+	if !reflect.DeepEqual(ref.evals, scalar.evals) {
+		t.Fatal("batched and scalar evaluations differ")
+	}
+	if ref.computed != scalar.computed || ref.jobs != scalar.jobs ||
+		ref.hits != scalar.hits || ref.misses != scalar.misses {
+		t.Fatalf("batched counters (%d,%d,%d,%d) != scalar (%d,%d,%d,%d)",
+			ref.computed, ref.jobs, ref.hits, ref.misses,
+			scalar.computed, scalar.jobs, scalar.hits, scalar.misses)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for _, ob := range []int{2, 3, 7, 64} {
+			got := run(workers, ob)
+			if !reflect.DeepEqual(got.evals, ref.evals) {
+				t.Fatalf("workers %d batch %d: evaluations differ", workers, ob)
+			}
+			if got.computed != ref.computed || got.jobs != ref.jobs ||
+				got.hits != ref.hits || got.misses != ref.misses {
+				t.Fatalf("workers %d batch %d: counters differ", workers, ob)
+			}
+			if !reflect.DeepEqual(got.memo, ref.memo) {
+				t.Fatalf("workers %d batch %d: per-core memo content differs", workers, ob)
+			}
+		}
+	}
+}

@@ -73,6 +73,118 @@ func TestHillClimbSerialParallelEquivalence(t *testing.T) {
 	}
 }
 
+// The batched-oracle contract: OracleBatch changes only the cost of a run,
+// never its Result. The differential tests compare full Result structs
+// between the scalar oracle and every batch width, for both engines, across
+// seeds; the fail-closed test proves a seeded oracle fault makes exactly
+// this comparison trip.
+
+var oracleBatchWidths = []int{1, 2, 7, 64}
+
+func TestOptimizeBatchedOracleEquivalence(t *testing.T) {
+	for _, cfg := range []struct {
+		name  string
+		timed []bool
+	}{
+		{"all-timed", []bool{true, true, true, true}},
+		{"half-timed", []bool{true, true, false, false}},
+	} {
+		p := problemFor("fft", 0.01, cfg.timed)
+		for _, seed := range equivalenceSeeds {
+			gc := DefaultGA(seed)
+			gc.Pop, gc.Generations = 10, 6
+			scalar, err := Optimize(p, gc)
+			if err != nil {
+				t.Fatalf("%s seed %d scalar: %v", cfg.name, seed, err)
+			}
+			for _, w := range oracleBatchWidths {
+				gc.OracleBatch = w
+				batched, err := Optimize(p, gc)
+				if err != nil {
+					t.Fatalf("%s seed %d batch %d: %v", cfg.name, seed, w, err)
+				}
+				if !reflect.DeepEqual(scalar, batched) {
+					t.Errorf("%s seed %d: scalar and batch-%d GA results differ\nscalar: %+v\nbatched: %+v",
+						cfg.name, seed, w, scalar, batched)
+				}
+			}
+		}
+	}
+}
+
+func TestHillClimbBatchedOracleEquivalence(t *testing.T) {
+	p := problemFor("water", 0.01, []bool{true, true, true, false})
+	for _, seed := range equivalenceSeeds {
+		hc := DefaultHC(seed)
+		hc.Restarts, hc.MaxSteps = 3, 20
+		scalar, err := HillClimb(p, hc)
+		if err != nil {
+			t.Fatalf("seed %d scalar: %v", seed, err)
+		}
+		for _, w := range oracleBatchWidths {
+			hc.OracleBatch = w
+			batched, err := HillClimb(p, hc)
+			if err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, w, err)
+			}
+			if !reflect.DeepEqual(scalar, batched) {
+				t.Errorf("seed %d: scalar and batch-%d hill-climb results differ\nscalar: %+v\nbatched: %+v",
+					seed, w, scalar, batched)
+			}
+		}
+	}
+}
+
+// TestBatchedOracleWorkersCross runs the full Workers × OracleBatch grid on
+// one configuration: every combination must produce the same Result as the
+// serial scalar reference.
+func TestBatchedOracleWorkersCross(t *testing.T) {
+	p := problemFor("fft", 0.01, []bool{true, true, true, true})
+	gc := DefaultGA(42)
+	gc.Pop, gc.Generations = 10, 6
+	ref, err := Optimize(p, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, 8} {
+		for _, ob := range oracleBatchWidths {
+			gc.Workers, gc.OracleBatch = w, ob
+			got, err := Optimize(p, gc)
+			if err != nil {
+				t.Fatalf("workers %d batch %d: %v", w, ob, err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("workers %d batch %d: Result differs from serial scalar reference", w, ob)
+			}
+		}
+	}
+}
+
+// TestBatchedOracleFailsClosed proves the equivalence suite cannot pass
+// vacuously: a seeded fault in the batched oracle (a +1 skew on every
+// memo-served hit count) must make the scalar-vs-batched comparison report a
+// mismatch. If this test fails, the differential tests above are comparing
+// something that cannot detect an oracle divergence.
+func TestBatchedOracleFailsClosed(t *testing.T) {
+	p := problemFor("fft", 0.01, []bool{true, true, true, true})
+	gc := DefaultGA(42)
+	gc.Pop, gc.Generations = 10, 6
+	scalar, err := Optimize(p, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	TestHooks.BatchedOracleHitSkew = 1
+	defer func() { TestHooks.BatchedOracleHitSkew = 0 }()
+	gc.OracleBatch = 16
+	skewed, err := Optimize(p, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(scalar, skewed) {
+		t.Fatal("seeded batched-oracle fault not detected: skewed batched Result equals scalar Result")
+	}
+}
+
 // TestOptimizeMemoCountersDeterministic pins the engine counters themselves:
 // the coordinator probes the cache serially, so hits/misses must not depend
 // on the worker count or the run.

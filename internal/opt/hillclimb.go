@@ -20,6 +20,12 @@ type HCConfig struct {
 	// anything below 1 selects runtime.NumCPU(). The Result is byte-identical
 	// for every value.
 	Workers int
+	// OracleBatch selects the analysis-oracle batching width, with the same
+	// semantics as GAConfig.OracleBatch: ≥ 2 memoizes the isolation analysis
+	// per (core, θ) and evaluates fresh pairs in SoA walks of up to this
+	// many columns; 0 and 1 keep the scalar oracle. The Result is
+	// byte-identical for every value.
+	OracleBatch int
 }
 
 // DefaultHC returns the parameters used by the optimizer ablation.
@@ -58,7 +64,12 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 		res.Evaluations = 1
 		return res, nil
 	}
-	res.ThetaIS = thetaIS(p, hc.Workers)
+	oracle := newEvaluator(p, hc.Workers, hc.OracleBatch)
+	if hc.OracleBatch > 1 {
+		res.ThetaIS = thetaISBatched(p, hc.Workers, oracle)
+	} else {
+		res.ThetaIS = thetaIS(p, hc.Workers)
+	}
 
 	rng := trace.NewRNG(hc.Seed ^ 0x6863) // "hc"
 	clamp := func(g int, v config.Timer) config.Timer {
@@ -70,7 +81,6 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 		}
 		return v
 	}
-	oracle := newEvaluator(p, hc.Workers)
 	evalOne := func(genes []config.Timer) (Evaluation, float64) {
 		ev := oracle.batch([][]config.Timer{genes})[0]
 		return ev, fitness(&ev)

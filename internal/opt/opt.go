@@ -171,6 +171,16 @@ func (p *Problem) compile() *compiled {
 }
 
 func (c *compiled) evaluate(timers []config.Timer) Evaluation {
+	return c.evaluateSrc(timers, nil)
+}
+
+// evaluateSrc is evaluate with a pluggable isolation-analysis source: when
+// memo is non-nil, timed cores' (MHit, MMiss) splits are read from
+// memo[core][θ] instead of running analysis.IsolationHits. Everything else —
+// the WCL hoist, the float summation order, the constraint handling — is the
+// shared code path, so a memoized evaluation is bit-identical to a scalar
+// one whenever the memo holds true IsolationHits results.
+func (c *compiled) evaluateSrc(timers []config.Timer, memo []map[config.Timer][2]int64) Evaluation {
 	p := c.p
 	n := len(p.Streams)
 	ev := Evaluation{
@@ -192,8 +202,16 @@ func (c *compiled) evaluate(timers []config.Timer) Evaluation {
 		}
 		lambda := c.lambdas[i]
 		if timers[i].Timed() {
-			// The paper's oracle: in-isolation hit analysis (Fig. 2a).
-			b.MHit, b.MMiss = analysis.IsolationHits(p.Streams[i], p.L1, p.Lat, timers[i])
+			if memo != nil {
+				hm, ok := memo[i][timers[i]]
+				if !ok {
+					panic(fmt.Sprintf("opt: batched oracle missing core %d θ=%d", i, timers[i]))
+				}
+				b.MHit, b.MMiss = hm[0]+TestHooks.BatchedOracleHitSkew*int64(timers[i]), hm[1]
+			} else {
+				// The paper's oracle: in-isolation hit analysis (Fig. 2a).
+				b.MHit, b.MMiss = analysis.IsolationHits(p.Streams[i], p.L1, p.Lat, timers[i])
+			}
 			b.WCMLBound = analysis.WCML(b.MHit, b.MMiss, p.Lat.Hit, b.WCL)
 		} else {
 			b.MMiss = lambda
@@ -236,22 +254,107 @@ func fitness(ev *Evaluation) float64 {
 // problem, a worker count, and a content-addressed memo-cache keyed by the
 // timer vector, so a genome that reappears (elites, converged populations,
 // revisited neighbors) is never recomputed.
+//
+// With oracleBatch ≥ 2 the evaluator additionally memoizes the isolation
+// analysis per (core, θ) for the lifetime of the run, and computes fresh
+// pairs through analysis.BatchAnalyzer in SoA walks of up to oracleBatch
+// columns. Distinct genomes routinely share genes — elites mutate one
+// coordinate, hill-climb neighborhoods vary one gene at a time — so the
+// per-core memo turns the oracle's cost from (distinct genomes × cores)
+// stream walks into (distinct (core, θ) pairs ÷ batch width) walks. The
+// genome-level memo-cache, its key, and every counter are untouched:
+// results are bit-identical to the scalar oracle for every batch width.
 type evaluator struct {
-	p       *Problem
-	c       *compiled
-	workers int
-	cache   *parallel.Cache[Evaluation]
+	p           *Problem
+	c           *compiled
+	workers     int
+	oracleBatch int
+	cache       *parallel.Cache[Evaluation]
+	// coreMemo[i][θ] is core i's memoized IsolationHits split (hits, misses).
+	// Lookup-only maps (never ranged), populated in deterministic submission
+	// order by prefill and the batched saturation sweep. Nil in scalar mode.
+	coreMemo []map[config.Timer][2]int64
 	// computed counts oracle evaluations actually performed (cache misses
 	// deduped within each batch).
 	computed int
 }
 
-func newEvaluator(p *Problem, workers int) *evaluator {
-	return &evaluator{
-		p:       p,
-		c:       p.compile(),
-		workers: workers,
-		cache:   parallel.NewCache[Evaluation](),
+func newEvaluator(p *Problem, workers, oracleBatch int) *evaluator {
+	e := &evaluator{
+		p:           p,
+		c:           p.compile(),
+		workers:     workers,
+		oracleBatch: oracleBatch,
+		cache:       parallel.NewCache[Evaluation](),
+	}
+	if oracleBatch > 1 {
+		e.coreMemo = make([]map[config.Timer][2]int64, len(p.Streams))
+		for i := range e.coreMemo {
+			e.coreMemo[i] = make(map[config.Timer][2]int64)
+		}
+	}
+	return e
+}
+
+// oracleUnit is one batched-analysis job: a contiguous chunk of fresh timers
+// for one core, at most oracleBatch wide.
+type oracleUnit struct {
+	core   int
+	thetas []config.Timer
+}
+
+// prefill runs the isolation analysis for every (core, θ) pair the genomes
+// need that the per-core memo does not yet hold. Fresh pairs are collected
+// in submission order, chunked per core into SoA walks of up to oracleBatch
+// columns, fanned across workers, and merged back serially — so the memo
+// content is a pure function of the genome sequence, identical for every
+// worker count and batch width.
+func (e *evaluator) prefill(genomes [][]config.Timer) {
+	n := len(e.p.Streams)
+	fresh := make([][]config.Timer, n)
+	seen := make([]map[config.Timer]bool, n)
+	for _, timers := range genomes {
+		for i, th := range timers {
+			if !th.Timed() {
+				continue
+			}
+			if _, ok := e.coreMemo[i][th]; ok {
+				continue
+			}
+			if seen[i] == nil {
+				seen[i] = make(map[config.Timer]bool)
+			}
+			if seen[i][th] {
+				continue
+			}
+			seen[i][th] = true
+			fresh[i] = append(fresh[i], th)
+		}
+	}
+	var units []oracleUnit
+	for i := 0; i < n; i++ {
+		for off := 0; off < len(fresh[i]); off += e.oracleBatch {
+			end := off + e.oracleBatch
+			if end > len(fresh[i]) {
+				end = len(fresh[i])
+			}
+			units = append(units, oracleUnit{core: i, thetas: fresh[i][off:end]})
+		}
+	}
+	type unitResult struct{ hits, misses []int64 }
+	results := parallel.Map(e.workers, len(units), func(u int) unitResult {
+		ba := analysis.NewBatchAnalyzer(e.p.L1)
+		r := unitResult{
+			hits:   make([]int64, len(units[u].thetas)),
+			misses: make([]int64, len(units[u].thetas)),
+		}
+		ba.IsolationHitsBatch(e.p.Streams[units[u].core], e.p.Lat, units[u].thetas, r.hits, r.misses)
+		return r
+	})
+	for u := range units {
+		for k, th := range units[u].thetas {
+			e.coreMemo[units[u].core][th] = [2]int64{results[u].hits[k], results[u].misses[k]}
+		}
 	}
 }
 
@@ -295,9 +398,22 @@ func (e *evaluator) batch(genomes [][]config.Timer) []Evaluation {
 		jobs = append(jobs, timers)
 		jobKeys = append(jobKeys, key)
 	}
-	results := parallel.Map(e.workers, len(jobs), func(j int) Evaluation {
-		return e.c.evaluate(jobs[j])
-	})
+	var results []Evaluation
+	if e.oracleBatch > 1 {
+		// Batched oracle: run the stream analysis for all fresh (core, θ)
+		// pairs first, then assemble the evaluations serially from the memo.
+		// The assembly is pure integer/float arithmetic in the same per-core
+		// order as the scalar path, so the results are bit-identical.
+		e.prefill(jobs)
+		results = make([]Evaluation, len(jobs))
+		for j := range jobs {
+			results[j] = e.c.evaluateSrc(jobs[j], e.coreMemo)
+		}
+	} else {
+		results = parallel.Map(e.workers, len(jobs), func(j int) Evaluation {
+			return e.c.evaluate(jobs[j])
+		})
+	}
 	for j := range jobKeys {
 		e.cache.Put(jobKeys[j], results[j])
 	}
@@ -325,6 +441,54 @@ func thetaIS(p *Problem, workers int) []config.Timer {
 	})
 }
 
+// thetaISBatched is thetaIS on the batched oracle: each timed core's
+// saturation sweep evaluates its doubling grid in one SoA stream walk, and
+// every (θ → hits, misses) sample the sweep produced seeds the evaluator's
+// per-core memo — so the boundary individuals of the initial population
+// (all-ones, all-θ_is) evaluate without re-running the analysis. The sweep
+// is bit-identical to analysis.SaturationTimer per core.
+func thetaISBatched(p *Problem, workers int, e *evaluator) []config.Timer {
+	timed := make([]int, 0, len(p.Timed))
+	for i, t := range p.Timed {
+		if t {
+			timed = append(timed, i)
+		}
+	}
+	type satResult struct {
+		theta   config.Timer
+		samples []analysis.TimerSample
+	}
+	results := parallel.Map(workers, len(timed), func(g int) satResult {
+		ba := analysis.NewBatchAnalyzer(p.L1)
+		th, _, samples := ba.SaturationTimer(p.Streams[timed[g]], p.Lat)
+		return satResult{theta: th, samples: samples}
+	})
+	out := make([]config.Timer, len(timed))
+	for g := range results {
+		out[g] = results[g].theta
+		for _, smp := range results[g].samples {
+			e.coreMemo[timed[g]][smp.Theta] = [2]int64{smp.Hits, smp.Misses}
+		}
+	}
+	return out
+}
+
+// TestHooks injects seeded faults for the batched-oracle differential suite
+// (and nothing else). All hooks default to off; production code must never
+// set them.
+var TestHooks struct {
+	// BatchedOracleHitSkew adds skew·θ guaranteed hits to every memo-served
+	// isolation result. The θ-proportional shape mimics a real batching bug
+	// (a window-test off-by-one is θ-dependent) and perturbs candidate
+	// *ranking*, not just absolute fitness, so the fault surfaces all the
+	// way up to rendered tables — a uniform shift would cancel out of the
+	// argmax. Only the batched oracle path reads it — the scalar oracle is
+	// untouched — so the equivalence suite can prove its batched ≡ scalar
+	// comparison fails closed: with a nonzero skew it must report a
+	// mismatch.
+	BatchedOracleHitSkew int64
+}
+
 // GAConfig tunes the genetic algorithm. DefaultGA mirrors a conventional
 // small-population setup.
 type GAConfig struct {
@@ -346,6 +510,13 @@ type GAConfig struct {
 	// anything below 1 selects runtime.NumCPU(). The Result is byte-identical
 	// for every value.
 	Workers int
+	// OracleBatch selects the analysis-oracle batching width: with a value
+	// ≥ 2, the isolation analysis is memoized per (core, θ) across the run
+	// and fresh pairs are evaluated in SoA walks of up to OracleBatch
+	// columns (analysis.BatchAnalyzer). 0 and 1 select the scalar oracle —
+	// one full analysis pass per core per distinct genome. The Result is
+	// byte-identical for every value; only the oracle's cost changes.
+	OracleBatch int
 	// Metrics, when non-nil, receives the optimizer's end-of-run counters
 	// (runs, evaluations, memo-engine totals, best fitness). Purely
 	// observational: it never affects the Result. The experiment harness
@@ -423,8 +594,15 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 		return res, nil
 	}
 
-	// Per-gene upper bounds: θ_is from the saturation sweep (§V).
-	res.ThetaIS = thetaIS(p, gc.Workers)
+	oracle := newEvaluator(p, gc.Workers, gc.OracleBatch)
+
+	// Per-gene upper bounds: θ_is from the saturation sweep (§V). The
+	// batched sweep also seeds the oracle's per-core memo from its samples.
+	if gc.OracleBatch > 1 {
+		res.ThetaIS = thetaISBatched(p, gc.Workers, oracle)
+	} else {
+		res.ThetaIS = thetaIS(p, gc.Workers)
+	}
 
 	rng := trace.NewRNG(gc.Seed ^ 0x6f7074) // "opt"
 	randGene := func(g int) config.Timer {
@@ -447,7 +625,6 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 		ev    Evaluation
 		fit   float64
 	}
-	oracle := newEvaluator(p, gc.Workers)
 	evalAll := func(genomes [][]config.Timer) []indiv {
 		evs := oracle.batch(genomes)
 		out := make([]indiv, len(genomes))

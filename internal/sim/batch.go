@@ -1,0 +1,46 @@
+package sim
+
+import "fmt"
+
+// Batch is a fixed set of engine lanes for evaluating many configurations
+// against one shared workload. Lanes exist so a multi-config driver
+// (internal/core's RunBatch) can amortize queue backing across
+// configurations: a lane's engine is Reset between runs and its heap backing
+// is retained, so a fleet of N configurations performs the queue growth of
+// the deepest single run, not the sum over runs.
+//
+// A Batch hands out engines; it never runs them. Each lane is independent
+// and single-threaded, exactly like a standalone Engine — drivers that run
+// lanes concurrently must give each goroutine its own lane (the established
+// whole-jobs-only parallelism rule; the event loops themselves stay
+// single-threaded).
+type Batch struct {
+	lanes []*Engine
+}
+
+// NewBatch returns a batch with n independent engine lanes.
+func NewBatch(n int) *Batch {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: batch needs at least one lane, got %d", n))
+	}
+	b := &Batch{lanes: make([]*Engine, n)}
+	for i := range b.lanes {
+		b.lanes[i] = New()
+	}
+	return b
+}
+
+// Lanes reports the number of lanes.
+func (b *Batch) Lanes() int { return len(b.lanes) }
+
+// Lane returns lane i's engine. The engine keeps whatever state its last run
+// left behind; callers reusing a lane must Reset it first.
+func (b *Batch) Lane(i int) *Engine { return b.lanes[i] }
+
+// Reserve preallocates queue backing for at least n additional events on
+// every lane.
+func (b *Batch) Reserve(n int) {
+	for _, e := range b.lanes {
+		e.Reserve(n)
+	}
+}

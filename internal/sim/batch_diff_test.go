@@ -1,0 +1,195 @@
+// The system-level half of the batched-equivalence proof. The unit half
+// (internal/analysis/batch_test.go) pins the SoA oracle against the scalar
+// analysis; this file pins core.RunBatch against one-at-a-time core.New/Run
+// across heterogeneous configurations — protocols, arbiters, transfer
+// policies, timer vectors, mode-switch schedules — batch sizes, seeds and
+// worker counts, comparing the full *stats.Run measurements structurally.
+// It lives in package sim_test because it exercises the sim.Engine reuse
+// contract (Reset between lanes) from above, through core, the way the
+// production batch driver does; importing core from package sim proper would
+// cycle.
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cohort/internal/config"
+	"cohort/internal/core"
+	"cohort/internal/stats"
+	"cohort/internal/trace"
+)
+
+const diffCores = 4
+
+// diffLane builds the i-th heterogeneous lane: the paper platform with
+// protocol, arbiter, transfer policy, criticality map, per-mode timer LUTs
+// and mode-switch schedule all varied deterministically by lane index, so a
+// batch of N lanes covers N distinct configurations.
+func diffLane(i int) core.BatchLane {
+	cfg := config.PaperDefaults(diffCores, 3)
+	if i%2 == 1 {
+		cfg.Snoop = config.SnoopMESI
+	}
+	cfg.Arbiter = []config.Arbiter{
+		config.ArbiterRROF, config.ArbiterRR, config.ArbiterFCFS, config.ArbiterTDM,
+	}[i%4]
+	if i%3 == 2 {
+		cfg.Transfer = config.TransferViaMemory
+	}
+	if i%5 == 4 {
+		cfg.PerfectLLC = false
+	}
+	// Mixed criticalities: under TDM + mode switches this exercises schedule
+	// reprogramming; under the timer re-basing rule it exercises θ = −1 lanes
+	// next to timed ones.
+	cfg.Cores[1].Criticality = 1
+	cfg.Cores[3].Criticality = 2
+	for c := range cfg.Cores {
+		for m := 0; m < cfg.Levels; m++ {
+			// A spread of timers over modes and cores, θ = −1 included.
+			switch (i + c + m) % 4 {
+			case 0:
+				cfg.Cores[c].TimerLUT[m] = config.TimerMSI
+			case 1:
+				cfg.Cores[c].TimerLUT[m] = config.Timer(1 + 13*(i%7) + 100*m)
+			case 2:
+				cfg.Cores[c].TimerLUT[m] = 5000
+			default:
+				cfg.Cores[c].TimerLUT[m] = config.Timer(50 + i%11)
+			}
+		}
+	}
+	lane := core.BatchLane{Cfg: cfg}
+	switch i % 3 {
+	case 0: // no switches
+	case 1:
+		lane.ModeSwitches = []core.ModeSwitch{{At: 400 + int64(i)*37, Mode: 2}}
+	default:
+		lane.ModeSwitches = []core.ModeSwitch{
+			{At: 300 + int64(i)*17, Mode: 3},
+			{At: 2000 + int64(i)*29, Mode: 1},
+		}
+	}
+	return lane
+}
+
+func diffTrace(t *testing.T, seed uint64) *trace.Trace {
+	t.Helper()
+	p, err := trace.ProfileByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.Scaled(0.005)
+	return p.Generate(diffCores, 64, seed)
+}
+
+// runScalar is the reference: each lane through the one-config construction
+// path, a fresh engine per run.
+func runScalar(t *testing.T, lanes []core.BatchLane, tr *trace.Trace) []*stats.Run {
+	t.Helper()
+	out := make([]*stats.Run, len(lanes))
+	for i, lane := range lanes {
+		sys, err := core.New(lane.Cfg, tr)
+		if err != nil {
+			t.Fatalf("lane %d: %v", i, err)
+		}
+		for _, sw := range lane.ModeSwitches {
+			if err := sys.ScheduleModeSwitch(sw.At, sw.Mode); err != nil {
+				t.Fatalf("lane %d: %v", i, err)
+			}
+		}
+		run, err := sys.Run()
+		if err != nil {
+			t.Fatalf("lane %d: %v", i, err)
+		}
+		out[i] = run
+	}
+	return out
+}
+
+// TestRunBatchMatchesScalar is the system-level bit-identity proof: for
+// every batch size × seed × worker count, RunBatch must return measurements
+// structurally identical to the one-at-a-time reference. The workers=1 cells
+// exercise the engine Reset-reuse path across heterogeneous lanes — the
+// configuration where leaked queue or clock state would corrupt lane i+1.
+func TestRunBatchMatchesScalar(t *testing.T) {
+	for _, tc := range []struct {
+		size  int
+		seeds []uint64
+	}{
+		{1, []uint64{1, 42, 7777}},
+		{2, []uint64{1, 42, 7777}},
+		{7, []uint64{1, 42, 7777}},
+		{64, []uint64{42}},
+	} {
+		lanes := make([]core.BatchLane, tc.size)
+		for i := range lanes {
+			lanes[i] = diffLane(i)
+		}
+		for _, seed := range tc.seeds {
+			tr := diffTrace(t, seed)
+			want := runScalar(t, lanes, tr)
+			for _, workers := range []int{1, 4} {
+				got, err := core.RunBatch(lanes, tr, workers)
+				if err != nil {
+					t.Fatalf("size %d seed %d workers %d: %v", tc.size, seed, workers, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("size %d seed %d workers %d: %d results for %d lanes",
+						tc.size, seed, workers, len(got), len(want))
+				}
+				for i := range want {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Errorf("size %d seed %d workers %d lane %d: batched run differs from scalar\nbatched: %+v\nscalar:  %+v",
+							tc.size, seed, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchFailsClosed proves the differential above cannot pass
+// vacuously: a seeded fault that skews batched lanes' mode-switch schedules
+// must surface as a scalar-vs-batched mismatch on at least one lane.
+func TestRunBatchFailsClosed(t *testing.T) {
+	lanes := make([]core.BatchLane, 4)
+	for i := range lanes {
+		lanes[i] = diffLane(i)
+	}
+	tr := diffTrace(t, 42)
+	want := runScalar(t, lanes, tr)
+
+	core.TestHooks.BatchLaneTimerSkew = 137
+	defer func() { core.TestHooks.BatchLaneTimerSkew = 0 }()
+	got, err := core.RunBatch(lanes, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return // the fault was detected — the comparison fails closed
+		}
+	}
+	t.Fatal("seeded mode-switch skew not detected: every batched lane matched the scalar reference")
+}
+
+// TestRunBatchEmpty pins the trivial boundary.
+func TestRunBatchEmpty(t *testing.T) {
+	out, err := core.RunBatch(nil, diffTrace(t, 1), 1)
+	if err != nil || out != nil {
+		t.Fatalf("RunBatch(nil) = (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+// TestRunBatchLaneError pins error propagation: a lane whose configuration
+// fails validation must abort the batch with a lane-indexed error.
+func TestRunBatchLaneError(t *testing.T) {
+	lanes := []core.BatchLane{diffLane(0), diffLane(1)}
+	lanes[1].Cfg = config.PaperDefaults(diffCores, 3)
+	lanes[1].Cfg.Mode = 9 // out of range
+	if _, err := core.RunBatch(lanes, diffTrace(t, 1), 1); err == nil {
+		t.Fatal("invalid lane config did not fail the batch")
+	}
+}
