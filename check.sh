@@ -55,6 +55,30 @@ echo "==> perf smoke (bit-identical fingerprints vs pre-overhaul goldens)"
 go run ./cmd/cohort-report -dir "$obsdir" -fingerprints > "$obsdir/fingerprints.txt"
 diff cmd/cohort-report/testdata/perf-smoke.fingerprints "$obsdir/fingerprints.txt"
 
+echo "==> live debug-server smoke (/healthz, /metrics, /runs, pprof mid-run)"
+go build -o "$obsdir/cohort-bench" ./cmd/cohort-bench
+"$obsdir/cohort-bench" -run fig5a,attribution -j 2 -scale 1 -cap 0 -pop 24 -gens 24 \
+  -listen 127.0.0.1:8723 >/dev/null &
+benchpid=$!
+up=0
+i=0
+while [ "$i" -lt 100 ]; do
+  if curl -fsS http://127.0.0.1:8723/healthz 2>/dev/null | grep -q ok; then up=1; break; fi
+  i=$((i + 1)); sleep 0.1
+done
+if [ "$up" != 1 ]; then
+  echo "    FAIL: debug server never answered /healthz"
+  kill "$benchpid" 2>/dev/null || true
+  exit 1
+fi
+curl -fsS http://127.0.0.1:8723/metrics > "$obsdir/metrics.prom"
+grep -q '^cohort_run_events_total' "$obsdir/metrics.prom"
+curl -fsS http://127.0.0.1:8723/runs > "$obsdir/runs.json"
+grep -q '"tool": "cohort-bench"' "$obsdir/runs.json"
+curl -fsS "http://127.0.0.1:8723/debug/pprof/goroutine?debug=1" > "$obsdir/goroutine.pprof"
+test -s "$obsdir/goroutine.pprof"
+wait "$benchpid"
+
 echo "==> cohort-model -smoke (exhaustive closure at depth 4)"
 go run ./cmd/cohort-model -smoke -depth 4 -q -out "$obsdir/counterexample.txt"
 

@@ -16,11 +16,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	"cohort"
+	"cohort/internal/cliutil"
 	"cohort/internal/experiments"
 	"cohort/internal/obs"
 	"cohort/internal/parallel"
@@ -29,15 +28,14 @@ import (
 
 var known = []string{
 	"table1", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
-	"fig7", "table2", "nonperfect",
+	"fig7", "table2", "nonperfect", "attribution",
 	"ablation-arbiter", "ablation-transfer", "ablation-timer", "ablation-snoop",
 	"ablation-optimizer", "ablation-l1ways", "ablation-nonblocking", "scalability",
 }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, obs.WallClock{}); err != nil {
-		fmt.Fprintln(os.Stderr, "cohort-bench:", err)
-		os.Exit(1)
+		cliutil.Fatal("cohort-bench", err)
 	}
 }
 
@@ -47,68 +45,47 @@ func main() {
 // are byte-reproducible).
 func run(args []string, stdout io.Writer, clk obs.Clock) error {
 	fs := flag.NewFlagSet("cohort-bench", flag.ContinueOnError)
+	cu := cliutil.New("cohort-bench")
+	cu.RegisterWork(fs)
+	cu.RegisterObs(fs)
+	cu.RegisterProfile(fs)
 	var (
-		runList    = fs.String("run", "all", "comma-separated experiments: "+strings.Join(known, ", ")+" or 'all'")
-		scale      = fs.Float64("scale", 0.05, "access-count scale factor")
-		cap        = fs.Int("cap", 4000, "cap on accesses per core after scaling (0 = none)")
-		seed       = fs.Uint64("seed", 42, "trace generator seed")
-		bench      = fs.String("bench", "fft", "benchmark for fig7/table2")
-		benches    = fs.String("benches", "", "comma-separated benchmark subset for fig5/fig6/ablations (default: all)")
-		pop        = fs.Int("pop", 20, "GA population")
-		gens       = fs.Int("gens", 16, "GA generations")
-		md         = fs.Bool("md", false, "emit markdown tables")
-		jobs       = fs.Int("j", 0, "evaluation workers (1 = serial, <1 = NumCPU); output is identical for every value")
-		batch      = fs.Int("batch", 0, "analysis-oracle batch width (0 or 1 = scalar oracle, >=2 = batched SoA oracle); output is identical for every value")
-		memoStats  = fs.Bool("memo-stats", false, "report memo-cache counters on stderr (counters are scheduling-dependent, never part of the tables)")
-		outDir     = fs.String("out-dir", "", "write a run manifest and a Chrome trace (Perfetto) into this directory")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		runList   = fs.String("run", "all", "comma-separated experiments: "+strings.Join(known, ", ")+" or 'all'")
+		scale     = fs.Float64("scale", 0.05, "access-count scale factor")
+		cap       = fs.Int("cap", 4000, "cap on accesses per core after scaling (0 = none)")
+		seed      = fs.Uint64("seed", 42, "trace generator seed")
+		bench     = fs.String("bench", "fft", "benchmark for fig7/table2")
+		benches   = fs.String("benches", "", "comma-separated benchmark subset for fig5/fig6/ablations (default: all)")
+		pop       = fs.Int("pop", 20, "GA population")
+		gens      = fs.Int("gens", 16, "GA generations")
+		md        = fs.Bool("md", false, "emit markdown tables")
+		memoStats = fs.Bool("memo-stats", false, "report memo-cache counters on stderr (counters are scheduling-dependent, never part of the tables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return err
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	log, err := cu.Logger(os.Stderr, clk)
+	if err != nil {
+		return err
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cohort-bench: memprofile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "cohort-bench: memprofile:", err)
-			}
-		}()
+	stopProfiles, err := cu.StartProfiles(log)
+	if err != nil {
+		return err
 	}
+	defer stopProfiles()
 
 	o := experiments.DefaultOptions()
 	o.Scale = *scale
 	o.MaxAccessesPerCore = *cap
 	o.Seed = *seed
 	o.GA.Pop, o.GA.Generations = *pop, *gens
-	o.Jobs = *jobs
-	o.GA.Workers = *jobs
+	o.Jobs = cu.Jobs
+	o.GA.Workers = cu.Jobs
 	// Like the worker count, the oracle batch width changes only the cost of
 	// a run, never its results — it is excluded from benchConfigKey so scalar
 	// and batched runs of one configuration share a key and cohort-report can
 	// diff them.
-	o.GA.OracleBatch = *batch
+	o.GA.OracleBatch = cu.Batch
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -147,13 +124,38 @@ func run(args []string, stdout io.Writer, clk obs.Clock) error {
 		man *obs.Manifest
 		rec *obs.Recorder
 	)
-	if *outDir != "" {
+	if cu.OutDir != "" {
 		man = obs.NewManifest("cohort-bench", clk)
 		man.Args = args
 		o.Metrics = obs.NewRegistry()
 		rec = obs.NewRecorder()
 		o.Recorder = rec
 	}
+
+	// Live observability: the tracker's handle feeds the pull-sampled /runs
+	// and /metrics endpoints; the experiment harness bumps it through the
+	// package-level progress hook. All of it is outside canonical output —
+	// tables, manifests and fingerprints are byte-identical with or without
+	// -listen.
+	tracker := obs.NewRunTracker(clk)
+	rh := tracker.Register("cohort-bench", *runList)
+	rh.SetCellsTotal(int64(len(selected)))
+	defer func() {
+		rh.Finish()
+		tracker.Unregister(rh)
+	}()
+	prev := experiments.AttachProgress(rh)
+	defer experiments.AttachProgress(prev)
+	if cu.Listen != "" && o.Metrics == nil {
+		// Serve experiment metrics even without -out-dir; figure publishes go
+		// through Registry.Sync, so live scrapes are race-free.
+		o.Metrics = obs.NewRegistry()
+	}
+	srv, err := cu.StartServer(o.Metrics, tracker, log)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 
 	emit := func(t *stats.Table) {
 		if *md {
@@ -163,119 +165,137 @@ func run(args []string, stdout io.Writer, clk obs.Clock) error {
 		}
 	}
 
-	if sel["table1"] {
-		emit(cohort.Table1())
+	// cells lists every experiment runner in output order. Driving them from
+	// one table keeps the progress accounting (AddCellsDone) in one place.
+	type cell struct {
+		key string
+		run func() error
 	}
-	for _, sub := range []struct{ key, scenario string }{
-		{"fig5a", "all-cr"}, {"fig5b", "2cr-2ncr"}, {"fig5c", "1cr-3ncr"},
-	} {
-		if !sel[sub.key] {
+	renderSummary := func(t *stats.Table, summary string) {
+		emit(t)
+		fmt.Fprintln(stdout, summary)
+		fmt.Fprintln(stdout)
+	}
+	cells := []cell{
+		{"table1", func() error { emit(cohort.Table1()); return nil }},
+		{"fig5a", func() error { return runFig5(o, "all-cr", renderSummary) }},
+		{"fig5b", func() error { return runFig5(o, "2cr-2ncr", renderSummary) }},
+		{"fig5c", func() error { return runFig5(o, "1cr-3ncr", renderSummary) }},
+		{"fig6a", func() error { return runFig6(o, "all-cr", renderSummary) }},
+		{"fig6b", func() error { return runFig6(o, "2cr-2ncr", renderSummary) }},
+		{"fig6c", func() error { return runFig6(o, "1cr-3ncr", renderSummary) }},
+		{"fig7", func() error {
+			res, err := experiments.Fig7(o, *bench, 1.5, 1.8)
+			if err != nil {
+				return err
+			}
+			for _, t := range res.Render() {
+				emit(t)
+			}
+			fmt.Fprintln(stdout, res.Summary())
+			fmt.Fprintln(stdout)
+			return nil
+		}},
+		{"table2", func() error {
+			res, err := experiments.Table2(o, *bench)
+			if err != nil {
+				return err
+			}
+			emit(res.Render())
+			return nil
+		}},
+		{"nonperfect", func() error {
+			res, err := experiments.NonPerfect(o)
+			if err != nil {
+				return err
+			}
+			renderSummary(res.Render(), res.Summary())
+			return nil
+		}},
+		{"attribution", func() error {
+			res, err := experiments.Attribution(o, "all-cr")
+			if err != nil {
+				return err
+			}
+			renderSummary(res.Render(), res.Summary())
+			if man != nil {
+				man.Attribution = res.ManifestRows()
+			}
+			return nil
+		}},
+		{"ablation-arbiter", func() error {
+			res, err := experiments.AblationArbiter(o)
+			if err != nil {
+				return err
+			}
+			emit(res.Render())
+			return nil
+		}},
+		{"ablation-transfer", func() error {
+			res, err := experiments.AblationTransfer(o)
+			if err != nil {
+				return err
+			}
+			emit(res.Render())
+			return nil
+		}},
+		{"ablation-timer", func() error {
+			res, err := experiments.AblationTimer(o, nil)
+			if err != nil {
+				return err
+			}
+			emit(res.Render())
+			return nil
+		}},
+		{"ablation-snoop", func() error {
+			res, err := experiments.AblationSnoop(o)
+			if err != nil {
+				return err
+			}
+			emit(res.Render())
+			return nil
+		}},
+		{"ablation-l1ways", func() error {
+			res, err := experiments.AblationL1Ways(o, 100, nil)
+			if err != nil {
+				return err
+			}
+			emit(res.Render())
+			return nil
+		}},
+		{"ablation-nonblocking", func() error {
+			res, err := experiments.AblationNonBlocking(o)
+			if err != nil {
+				return err
+			}
+			emit(res.Render())
+			return nil
+		}},
+		{"ablation-optimizer", func() error {
+			res, err := experiments.AblationOptimizer(o)
+			if err != nil {
+				return err
+			}
+			emit(res.Render())
+			return nil
+		}},
+		{"scalability", func() error {
+			res, err := experiments.ExtensionScalability(o, *bench, 50, nil)
+			if err != nil {
+				return err
+			}
+			emit(res.Render())
+			return nil
+		}},
+	}
+	for _, c := range cells {
+		if !sel[c.key] {
 			continue
 		}
-		res, err := experiments.Fig5(o, sub.scenario)
-		if err != nil {
+		if err := c.run(); err != nil {
 			return err
 		}
-		emit(res.Render())
-		fmt.Fprintln(stdout, res.Summary())
-		fmt.Fprintln(stdout)
-	}
-	for _, sub := range []struct{ key, scenario string }{
-		{"fig6a", "all-cr"}, {"fig6b", "2cr-2ncr"}, {"fig6c", "1cr-3ncr"},
-	} {
-		if !sel[sub.key] {
-			continue
-		}
-		res, err := experiments.Fig6(o, sub.scenario)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-		fmt.Fprintln(stdout, res.Summary())
-		fmt.Fprintln(stdout)
-	}
-	if sel["fig7"] {
-		res, err := experiments.Fig7(o, *bench, 1.5, 1.8)
-		if err != nil {
-			return err
-		}
-		for _, t := range res.Render() {
-			emit(t)
-		}
-		fmt.Fprintln(stdout, res.Summary())
-		fmt.Fprintln(stdout)
-	}
-	if sel["table2"] {
-		res, err := experiments.Table2(o, *bench)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-	}
-	if sel["nonperfect"] {
-		res, err := experiments.NonPerfect(o)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-		fmt.Fprintln(stdout, res.Summary())
-		fmt.Fprintln(stdout)
-	}
-	if sel["ablation-arbiter"] {
-		res, err := experiments.AblationArbiter(o)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-	}
-	if sel["ablation-transfer"] {
-		res, err := experiments.AblationTransfer(o)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-	}
-	if sel["ablation-timer"] {
-		res, err := experiments.AblationTimer(o, nil)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-	}
-	if sel["ablation-snoop"] {
-		res, err := experiments.AblationSnoop(o)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-	}
-	if sel["ablation-l1ways"] {
-		res, err := experiments.AblationL1Ways(o, 100, nil)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-	}
-	if sel["ablation-nonblocking"] {
-		res, err := experiments.AblationNonBlocking(o)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-	}
-	if sel["ablation-optimizer"] {
-		res, err := experiments.AblationOptimizer(o)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
-	}
-	if sel["scalability"] {
-		res, err := experiments.ExtensionScalability(o, *bench, 50, nil)
-		if err != nil {
-			return err
-		}
-		emit(res.Render())
+		rh.AddCellsDone(1)
 	}
 	engine := experiments.MemoStats()
 	if *memoStats {
@@ -288,7 +308,7 @@ func run(args []string, stdout io.Writer, clk obs.Clock) error {
 		sreg.Gauge("memo_jobs_total").Set(engine.Jobs)
 		sreg.Gauge("memo_cache_hits").Set(engine.CacheHits)
 		sreg.Gauge("memo_cache_misses").Set(engine.CacheMisses)
-		fmt.Fprint(os.Stderr, "cohort-bench memo:\n"+sreg.Snapshot().String())
+		log.Infof("cohort-bench memo:\n%s", strings.TrimSuffix(sreg.Snapshot().String(), "\n"))
 	}
 	if man != nil {
 		refs, err := experiments.TraceRefs(o)
@@ -298,12 +318,12 @@ func run(args []string, stdout io.Writer, clk obs.Clock) error {
 		man.ConfigKey = benchConfigKey(selected, *bench, &o)
 		man.Traces = refs
 		man.Seed = int64(*seed)
-		man.Workers = parallel.DefaultWorkers(*jobs)
-		man.OracleBatch = *batch
+		man.Workers = parallel.DefaultWorkers(cu.Jobs)
+		man.OracleBatch = cu.Batch
 		man.Engine = &engine
 		man.Metrics = o.Metrics.Snapshot()
 		man.Finish(clk)
-		path, err := man.Write(*outDir)
+		path, err := man.Write(cu.OutDir)
 		if err != nil {
 			return err
 		}
@@ -319,8 +339,29 @@ func run(args []string, stdout io.Writer, clk obs.Clock) error {
 		if err := tf.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "cohort-bench: wrote %s and %s\n", path, tracePath)
+		log.Infof("cohort-bench: wrote %s and %s", path, tracePath)
 	}
+	return nil
+}
+
+// runFig5 runs one Fig. 5 scenario and renders it through the shared
+// table+summary shape.
+func runFig5(o experiments.Options, scenario string, render func(*stats.Table, string)) error {
+	res, err := experiments.Fig5(o, scenario)
+	if err != nil {
+		return err
+	}
+	render(res.Render(), res.Summary())
+	return nil
+}
+
+// runFig6 is runFig5's Fig. 6 counterpart.
+func runFig6(o experiments.Options, scenario string, render func(*stats.Table, string)) error {
+	res, err := experiments.Fig6(o, scenario)
+	if err != nil {
+		return err
+	}
+	render(res.Render(), res.Summary())
 	return nil
 }
 

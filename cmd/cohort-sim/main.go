@@ -22,12 +22,15 @@ import (
 	"strings"
 
 	"cohort"
+	"cohort/internal/cliutil"
 	"cohort/internal/experiments"
 	"cohort/internal/obs"
 	"cohort/internal/parallel"
 )
 
 func main() {
+	cu := cliutil.New("cohort-sim")
+	cu.RegisterObs(flag.CommandLine)
 	var (
 		bench      = flag.String("bench", "fft", "benchmark profile (ignored with -trace)")
 		traceFile  = flag.String("trace", "", "read the workload from this trace file (text or binary)")
@@ -47,9 +50,15 @@ func main() {
 		vcdFile    = flag.String("vcd", "", "write a Value Change Dump of the run to this file")
 		checkInv   = flag.Bool("check", false, "validate protocol invariants after every bus transaction (slower)")
 		chromeFile = flag.String("chrome", "", "write a Chrome trace (Perfetto) of the run to this file")
-		outDir     = flag.String("out-dir", "", "write a run manifest with the full metrics snapshot into this directory")
+		attr       = flag.Bool("attr", false, "register the per-core WCML latency-attribution metrics (with -out-dir: included in the manifest snapshot)")
 	)
 	flag.Parse()
+
+	clk := obs.Clock(obs.WallClock{})
+	log, err := cu.Logger(os.Stderr, clk)
+	if err != nil {
+		fatal(err)
+	}
 
 	tr, err := loadTrace(*traceFile, *dinFiles, *bench, *cores, *scale, *seed)
 	if err != nil {
@@ -103,12 +112,33 @@ func main() {
 		reg *obs.Registry
 		rec *obs.Recorder
 	)
-	if *outDir != "" {
+	if cu.OutDir != "" {
 		reg = obs.NewRegistry()
 		if err := sys.SetMetrics(reg); err != nil {
 			fatal(err)
 		}
+		if *attr {
+			if err := sys.RegisterAttribution(reg); err != nil {
+				fatal(err)
+			}
+		}
 	}
+
+	// Live observability. The debug server gets the tracker but NOT the
+	// manifest registry: SetMetrics registers closures that read live
+	// simulator state, so scraping that registry mid-run would race the
+	// single-threaded simulation. The tracker's atomic counters are the
+	// race-free live surface.
+	tracker := obs.NewRunTracker(clk)
+	rh := tracker.Register("cohort-sim", tr.Name)
+	if err := sys.SetProgress(rh); err != nil {
+		fatal(err)
+	}
+	srv, err := cu.StartServer(nil, tracker, log)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
 	if *chromeFile != "" {
 		rec = obs.NewRecorder()
 		if err := sys.SetRecorder(rec); err != nil {
@@ -155,6 +185,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rh.Finish()
 	if err := sys.CheckCoherence(); err != nil {
 		fatal(fmt.Errorf("coherence check failed: %w", err))
 	}
@@ -188,7 +219,7 @@ func main() {
 		if err := closeVCD(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote waveform to %s\n", *vcdFile)
+		log.Infof("wrote waveform to %s", *vcdFile)
 	}
 	if rec != nil {
 		f, err := os.Create(*chromeFile)
@@ -201,10 +232,9 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote chrome trace to %s (load at ui.perfetto.dev)\n", *chromeFile)
+		log.Infof("wrote chrome trace to %s (load at ui.perfetto.dev)", *chromeFile)
 	}
 	if reg != nil {
-		clk := obs.Clock(obs.WallClock{})
 		man := obs.NewManifest("cohort-sim", clk)
 		man.Args = os.Args[1:]
 		// The key covers the full platform description and the workload
@@ -220,11 +250,11 @@ func main() {
 		man.Workers = 1
 		man.Metrics = reg.Snapshot()
 		man.Finish(clk)
-		path, err := man.Write(*outDir)
+		path, err := man.Write(cu.OutDir)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote manifest to %s\n", path)
+		log.Infof("wrote manifest to %s", path)
 	}
 }
 
@@ -313,6 +343,5 @@ func parseMask(s string, n int) ([]bool, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cohort-sim:", err)
-	os.Exit(1)
+	cliutil.Fatal("cohort-sim", err)
 }

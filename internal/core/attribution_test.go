@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cohort/internal/config"
+	"cohort/internal/obs"
+	"cohort/internal/stats"
+	"cohort/internal/trace"
+)
+
+// attrIdentity asserts the exact-decomposition contract of stats.Attribution
+// for every core of a finished run: the four components are individually
+// non-negative totals, each per-miss distribution holds exactly one sample
+// per miss, and the components plus the hit latencies reconstruct the
+// measured total latency to the cycle.
+func attrIdentity(t *testing.T, label string, cfg *config.System, run *stats.Run) {
+	t.Helper()
+	for i := range run.Cores {
+		c := &run.Cores[i]
+		a := &c.Attr
+		for _, comp := range []struct {
+			name  string
+			total int64
+			hist  *stats.Histogram
+		}{
+			{"arbitration", a.ArbitrationCycles, &a.Arbitration},
+			{"timer_stall", a.TimerStallCycles, &a.TimerStall},
+			{"transfer", a.TransferCycles, &a.Transfer},
+			{"dram", a.DRAMCycles, &a.DRAM},
+		} {
+			if comp.total < 0 {
+				t.Fatalf("%s: core %d: negative %s total %d", label, i, comp.name, comp.total)
+			}
+			if comp.hist.Total() != c.Misses {
+				t.Fatalf("%s: core %d: %s histogram holds %d samples for %d misses",
+					label, i, comp.name, comp.hist.Total(), c.Misses)
+			}
+		}
+		got := a.TotalCycles() + c.Hits*cfg.Lat.Hit
+		if got != c.TotalLatency {
+			t.Fatalf("%s: core %d: attribution %d + hits %d·%d = %d, want total latency %d (attr %+v)",
+				label, i, a.TotalCycles(), c.Hits, cfg.Lat.Hit, got, c.TotalLatency, *a)
+		}
+	}
+}
+
+// TestAttributionSingleMiss pins the decomposition of the simplest possible
+// request: one uncontended miss on an idle bus with a perfect LLC is pure
+// transfer time — the fused broadcast (L_req) plus data (L_data) tenure.
+func TestAttributionSingleMiss(t *testing.T) {
+	cfg := cfgN(1, config.TimerMSI)
+	tr := mkTrace(trace.Stream{{Addr: lineA, Kind: trace.Read}})
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := run.Cores[0].Attr
+	want := cfg.Lat.Req + cfg.Lat.Data
+	if a.TransferCycles != want || a.ArbitrationCycles != 0 || a.TimerStallCycles != 0 || a.DRAMCycles != 0 {
+		t.Fatalf("uncontended miss attribution = %+v, want transfer %d and zero elsewhere", a, want)
+	}
+	attrIdentity(t, "single", cfg, run)
+}
+
+// TestAttributionDRAMPenalty checks that a memory-sourced fill on a
+// non-perfect LLC books its fetch penalty under the DRAM component, not
+// transfer.
+func TestAttributionDRAMPenalty(t *testing.T) {
+	cfg := cfgN(1, config.TimerMSI)
+	cfg.PerfectLLC = false
+	tr := mkTrace(trace.Stream{{Addr: lineA, Kind: trace.Read}})
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := run.Cores[0].Attr
+	if a.DRAMCycles != cfg.Lat.DRAM {
+		t.Fatalf("cold LLC miss DRAM component = %d, want %d", a.DRAMCycles, cfg.Lat.DRAM)
+	}
+	if a.TransferCycles != cfg.Lat.Req+cfg.Lat.Data {
+		t.Fatalf("transfer component = %d, want %d", a.TransferCycles, cfg.Lat.Req+cfg.Lat.Data)
+	}
+	attrIdentity(t, "dram", cfg, run)
+}
+
+// TestAttributionContention exercises timer-protected sharing: core 1's
+// store to a line core 0 holds under a long timer must book the protection
+// window under timer-stall.
+func TestAttributionContention(t *testing.T) {
+	cfg := cfgN(2, 400, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Read}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write, Gap: 10}},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Cores[1].Attr.TimerStallCycles; got <= 0 {
+		t.Fatalf("store against a timer-protected copy booked %d timer-stall cycles, want > 0", got)
+	}
+	attrIdentity(t, "contention", cfg, run)
+}
+
+// TestAttributionIdentity sweeps randomized platforms (arbiters, snoop
+// protocols, transfer policies, LLC modes, timers, mode switches) and checks
+// the exact-decomposition identity on every run.
+func TestAttributionIdentity(t *testing.T) {
+	rng := trace.NewRNG(8088)
+	arbiters := []config.Arbiter{config.ArbiterRROF, config.ArbiterRR, config.ArbiterFCFS, config.ArbiterTDM}
+	iters := 60
+	if testing.Short() {
+		iters = 12
+	}
+	for iter := 0; iter < iters; iter++ {
+		nCores := 2 + rng.Intn(4) // 2..5
+		levels := 1 + rng.Intn(2)
+		p := trace.Profile{
+			Name:            fmt.Sprintf("attr%d", iter),
+			AccessesPerCore: 40 + rng.Intn(200),
+			SharedLines:     1 + rng.Intn(16),
+			PrivateLines:    1 + rng.Intn(32),
+			PShared:         0.2 + 0.7*rng.Float64(),
+			ZipfS:           rng.Float64(),
+			PWrite:          rng.Float64(),
+			PRepeat:         rng.Float64() * 0.8,
+			RepeatWindow:    1 + rng.Intn(6),
+			MeanGap:         float64(rng.Intn(5)),
+		}
+		tr := p.Generate(nCores, 64, rng.Uint64())
+
+		cfg := config.PaperDefaults(nCores, levels)
+		cfg.Arbiter = arbiters[rng.Intn(len(arbiters))]
+		cfg.PerfectLLC = rng.Intn(2) == 0
+		if rng.Intn(2) == 0 {
+			cfg.Snoop = config.SnoopMESI
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Transfer = config.TransferViaMemory
+		}
+		for i := 0; i < nCores; i++ {
+			cfg.Cores[i].Criticality = 1 + rng.Intn(levels)
+			for m := 0; m < levels; m++ {
+				switch rng.Intn(4) {
+				case 0:
+					cfg.Cores[i].TimerLUT[m] = config.TimerMSI
+				case 1:
+					cfg.Cores[i].TimerLUT[m] = config.TimerNoCache
+				default:
+					cfg.Cores[i].TimerLUT[m] = config.Timer(1 + rng.Intn(600))
+				}
+			}
+		}
+		cfg.Mode = 1 + rng.Intn(levels)
+
+		label := fmt.Sprintf("iter %d (n=%d arb=%s snoop=%s transfer=%s perfect=%v)",
+			iter, nCores, cfg.Arbiter, cfg.Snoop, cfg.Transfer, cfg.PerfectLLC)
+		sys, err := New(cfg, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if levels > 1 && rng.Intn(2) == 0 {
+			if err := sys.ScheduleModeSwitch(int64(50+rng.Intn(500)), 1+rng.Intn(levels)); err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+		}
+		run, err := sys.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		attrIdentity(t, label, cfg, run)
+	}
+}
+
+// TestRegisterAttribution checks the opt-in metric surface: the component
+// families appear with per-core labels, reconcile with the run's counters,
+// and stay out of SetMetrics so pre-existing snapshots are untouched.
+func TestRegisterAttribution(t *testing.T) {
+	cfg := cfgN(2, 300, config.TimerMSI)
+	tr := mkTrace(
+		trace.Stream{{Addr: lineA, Kind: trace.Write}, {Addr: lineB, Kind: trace.Read}},
+		trace.Stream{{Addr: lineA, Kind: trace.Write, Gap: 5}},
+	)
+	sys, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := obs.NewRegistry()
+	if err := sys.SetMetrics(base); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if err := sys.RegisterAttribution(reg); err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := base.Snapshot().Get("sim_core_attr_arbitration_cycles", obs.L("core", "0")); ok {
+		t.Fatal("attribution metrics leaked into the SetMetrics registry")
+	}
+	snap := reg.Snapshot()
+	for i := range run.Cores {
+		lbl := obs.L("core", fmt.Sprintf("%d", i))
+		m, ok := snap.Get("sim_core_attr_timer_stall_cycles", lbl)
+		if !ok {
+			t.Fatalf("core %d: sim_core_attr_timer_stall_cycles missing", i)
+		}
+		if m.Value != run.Cores[i].Attr.TimerStallCycles {
+			t.Fatalf("core %d: snapshot %d, run %d", i, m.Value, run.Cores[i].Attr.TimerStallCycles)
+		}
+		h, ok := snap.Get("sim_core_attr_transfer", lbl)
+		if !ok {
+			t.Fatalf("core %d: sim_core_attr_transfer histogram missing", i)
+		}
+		if h.Value != run.Cores[i].Misses {
+			t.Fatalf("core %d: transfer histogram %d samples for %d misses", i, h.Value, run.Cores[i].Misses)
+		}
+	}
+	if err := sys.RegisterAttribution(obs.NewRegistry()); err == nil {
+		t.Fatal("RegisterAttribution after Run should fail")
+	}
+}

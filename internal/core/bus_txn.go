@@ -109,6 +109,7 @@ func (s *System) releaseBus() { s.busHeld = false }
 // grantBroadcast puts the core's request on the bus for the request latency.
 func (s *System) grantBroadcast(c *coreState, m *missState, now int64) {
 	m.inFlight = true
+	m.grantAt = now
 	s.run.Transactions++
 	s.emit(TraceEvent{Cycle: now, Kind: EvBroadcast, Core: c.id, Line: m.line, Until: now + s.cfg.Lat.Req})
 	// finishBroadcast must run before the bus-free arbitration kick at the
@@ -306,6 +307,7 @@ func (s *System) scheduleSharerInvalidation(cj *coreState, line uint64, fetchSta
 func (s *System) grantData(c *coreState, m *missState, now int64) {
 	li := s.dir.Get(m.line)
 	m.inFlight = true
+	m.dataGrantAt = now
 	dur := s.cfg.Lat.Data
 	if li.Owner != coherence.MemOwner {
 		s.recordHandover(m.line, m.dataReadyAt-m.broadcastAt)
@@ -315,6 +317,7 @@ func (s *System) grantData(c *coreState, m *missState, now int64) {
 	} else {
 		penalty, backInv := s.llc.Fetch(m.line, now, s.pinnedFn)
 		dur += penalty
+		m.dramPenalty = penalty
 		s.applyBackInvalidations(backInv, now)
 	}
 	s.run.Transactions++

@@ -85,6 +85,7 @@ func (s *System) completeHit(c *coreState, a trace.Access, entry *cache.Entry, n
 		entry.Version = li.Version
 	}
 	s.run.Cores[c.id].RecordAccess(true, s.cfg.Lat.Hit)
+	s.noteProgress(now)
 	if done > c.maxCompletion {
 		c.maxCompletion = done
 	}
@@ -144,7 +145,17 @@ func (s *System) completeMiss(c *coreState, m *missState, st cache.State, now in
 		victim.Version = li.Version
 	}
 	lat := now - m.issuedAt
+	// Exact latency decomposition (stats.Attribution): the request waited
+	// for its broadcast grant, then for the data to become transferable
+	// (timer-protected copies plus earlier requesters of the line), then for
+	// the data grant, and finally occupied the bus; the residual after
+	// removing the waits and the DRAM penalty is pure bus transfer time.
+	arb := (m.grantAt - m.issuedAt) + (m.dataGrantAt - m.dataReadyAt)
+	timer := m.dataReadyAt - m.broadcastAt
+	transfer := lat - arb - timer - m.dramPenalty
 	s.run.Cores[c.id].RecordAccess(false, lat)
+	s.run.Cores[c.id].Attr.Record(arb, timer, transfer, m.dramPenalty)
+	s.noteProgress(now)
 	s.emit(TraceEvent{Cycle: now, Kind: EvMissEnd, Core: c.id, Line: m.line})
 	if now > c.maxCompletion {
 		c.maxCompletion = now

@@ -100,6 +100,69 @@ func (s *System) SetMetrics(reg *obs.Registry) error {
 	return nil
 }
 
+// RegisterAttribution exposes the per-core miss-latency decomposition
+// (stats.Attribution) as metrics: the four component totals and their
+// per-miss histograms. It is deliberately separate from SetMetrics — the
+// attribution family is opt-in so the canonical snapshots and fingerprints
+// of pre-existing runs stay byte-identical. The underlying counters
+// accumulate unconditionally (plain integer adds in the recycled per-core
+// miss record); registering only exposes them. Must be called before Run;
+// passing nil is a no-op.
+func (s *System) RegisterAttribution(reg *obs.Registry) error {
+	if s.ran {
+		return errors.New("core: RegisterAttribution after Run")
+	}
+	if reg == nil {
+		return nil
+	}
+	for i := range s.cores {
+		st := &s.run.Cores[i]
+		lbl := obs.L("core", strconv.Itoa(i))
+		reg.RegisterCounterFunc("sim_core_attr_arbitration_cycles", func() int64 { return st.Attr.ArbitrationCycles }, lbl)
+		reg.RegisterCounterFunc("sim_core_attr_timer_stall_cycles", func() int64 { return st.Attr.TimerStallCycles }, lbl)
+		reg.RegisterCounterFunc("sim_core_attr_transfer_cycles", func() int64 { return st.Attr.TransferCycles }, lbl)
+		reg.RegisterCounterFunc("sim_core_attr_dram_cycles", func() int64 { return st.Attr.DRAMCycles }, lbl)
+		reg.RegisterHistogram("sim_core_attr_arbitration", &st.Attr.Arbitration, lbl)
+		reg.RegisterHistogram("sim_core_attr_timer_stall", &st.Attr.TimerStall, lbl)
+		reg.RegisterHistogram("sim_core_attr_transfer", &st.Attr.Transfer, lbl)
+		reg.RegisterHistogram("sim_core_attr_dram", &st.Attr.DRAM, lbl)
+	}
+	return nil
+}
+
+// SetProgress attaches a live-progress handle (obs.RunTracker): the system
+// bumps the handle's event and cycle counters as accesses complete, batched
+// progressBatch at a time so the steady-state hot-path cost is one plain
+// integer increment and one branch per access — no allocation, no lock.
+// Samples of the handle are wall-clock-dependent and never feed canonical
+// output. Must be called before Run; passing nil is a no-op.
+func (s *System) SetProgress(h *obs.RunHandle) error {
+	if s.ran {
+		return errors.New("core: SetProgress after Run")
+	}
+	if h == nil {
+		return nil
+	}
+	s.progress = h
+	return nil
+}
+
+// noteProgress accounts one completed access, flushing the batch to the
+// handle's atomics every progressBatch completions. now is nondecreasing
+// across calls (the event loop dispatches in cycle order).
+func (s *System) noteProgress(now int64) {
+	if s.progress == nil {
+		return
+	}
+	s.progressEvents++
+	if s.progressEvents >= progressBatch {
+		s.progress.AddEvents(s.progressEvents)
+		s.progress.AddCycles(now - s.progressCycle)
+		s.progressEvents = 0
+		s.progressCycle = now
+	}
+}
+
 // SetRecorder attaches a span/event recorder: bus occupancy spans
 // (broadcast and data phases), per-core miss intervals, timer-protection
 // windows, invalidation and mode-switch instants, and the latency-sampler

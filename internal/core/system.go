@@ -33,6 +33,12 @@ type missState struct {
 	broadcastAt int64
 	dataReadyAt int64 // earliest cycle the data transfer may be granted; -1 unknown
 	inFlight    bool  // currently occupying the bus
+	// Latency-attribution stamps (stats.Attribution): the broadcast- and
+	// data-grant cycles and the LLC/DRAM fetch penalty folded into the data
+	// phase. Plain integer fields in the recycled per-core record.
+	grantAt     int64
+	dataGrantAt int64
+	dramPenalty int64
 }
 
 // coreState is the simulator-side state of one core.
@@ -97,7 +103,19 @@ type System struct {
 	missStart         []int64 // per-core miss-start cycle for recorder spans
 	timerWindows      obs.Counter
 	timerWindowCycles obs.Counter
+
+	// Live-progress handle (obs.RunTracker). Updates are batched through
+	// plain integer fields so the steady-state cost with a handle attached is
+	// one increment and one branch per completed access; the atomics are
+	// touched once per progressBatch completions and once at the end of Run.
+	progress       *obs.RunHandle
+	progressEvents int64 // completions since the last flush
+	progressCycle  int64 // simulated cycle at the last flush
 }
+
+// progressBatch is how many access completions accumulate locally before
+// being flushed to the progress handle's atomics.
+const progressBatch = 1024
 
 type scheduledSwitch struct {
 	at   int64
@@ -288,6 +306,16 @@ func (s *System) Run() (*stats.Run, error) {
 		if c.maxCompletion > s.run.Cycles {
 			s.run.Cycles = c.maxCompletion
 		}
+	}
+	// Flush the batched progress remainder so a sampler sees exact final
+	// totals even before the run is unregistered.
+	if s.progress != nil {
+		s.progress.AddEvents(s.progressEvents)
+		if d := s.run.Cycles - s.progressCycle; d > 0 {
+			s.progress.AddCycles(d)
+		}
+		s.progressEvents = 0
+		s.progressCycle = s.run.Cycles
 	}
 	return s.run, nil
 }

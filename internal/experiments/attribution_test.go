@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cohort/internal/obs"
+)
+
+// TestAttributionDecomposition checks the runner's shape and the exact
+// decomposition identity on real simulations: every (benchmark, system,
+// core) row's components plus hit cycles equal its total latency (the runner
+// hard-errors otherwise), all three systems appear, and only CoHoRT and
+// PENDULUM — the systems with timer protection — may stall on timers.
+func TestAttributionDecomposition(t *testing.T) {
+	o := QuickOptions()
+	res, err := Attribution(o, "all-cr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := o.profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(profiles) * len(sysNames) * o.NCores; len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		seen[r.System] = true
+		if sum := r.Arbitration + r.TimerStall + r.Transfer + r.DRAM + r.HitCycles; sum != r.Total {
+			t.Fatalf("%s/%s core %d: components sum %d != total %d", r.Benchmark, r.System, r.Core, sum, r.Total)
+		}
+	}
+	for _, sys := range sysNames {
+		if !seen[sys] {
+			t.Fatalf("no rows for %s", sys)
+		}
+	}
+	for _, sys := range sysNames {
+		if sh := res.TimerStallShare[sys]; sh < 0 || sh > 1 {
+			t.Fatalf("%s timer-stall share %f out of [0,1]", sys, sh)
+		}
+	}
+	// PCC has no timer protection, so its rows must not attribute any
+	// latency to timer stalls.
+	for _, r := range res.Rows {
+		if r.System == "PCC" && r.TimerStall != 0 {
+			t.Fatalf("PCC core %d reports %d timer-stall cycles", r.Core, r.TimerStall)
+		}
+	}
+
+	out := res.Render().String()
+	for _, col := range []string{"timer%", "dram%", "CoHoRT", "PENDULUM"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("render missing %q:\n%s", col, out)
+		}
+	}
+	if !strings.Contains(res.Summary(), "timer-protection stalls") {
+		t.Fatalf("summary missing headline: %s", res.Summary())
+	}
+}
+
+// TestAttributionDeterministic checks the rows are identical for every
+// worker count — attribution rides the memoized deterministic primitives,
+// so it inherits their contract.
+func TestAttributionDeterministic(t *testing.T) {
+	base := QuickOptions()
+	base.Benchmarks = []string{"fft"}
+
+	var want []AttributionRow
+	for i, jobs := range []int{1, 4} {
+		ResetMemo()
+		o := base
+		o.Jobs = jobs
+		res, err := Attribution(o, "1cr-3ncr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res.Rows
+			continue
+		}
+		if !reflect.DeepEqual(res.Rows, want) {
+			t.Fatalf("rows differ between jobs=1 and jobs=%d", jobs)
+		}
+	}
+}
+
+// TestAttributionManifestRows checks the manifest conversion preserves every
+// field and survives Manifest.Validate's identity re-check.
+func TestAttributionManifestRows(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"fft"}
+	res, err := Attribution(o, "all-cr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.ManifestRows()
+	if len(rows) != len(res.Rows) {
+		t.Fatalf("manifest rows = %d, want %d", len(rows), len(res.Rows))
+	}
+	for i, mr := range rows {
+		r := res.Rows[i]
+		if mr.System != r.System || mr.TimerStall != r.TimerStall || mr.TotalLatency != r.Total {
+			t.Fatalf("row %d mismatch: %+v vs %+v", i, mr, r)
+		}
+	}
+	clk := obs.ManualClock{}
+	man := obs.NewManifest("cohort-bench", clk)
+	man.ConfigKey = strings.Repeat("ab", 32)
+	man.Workers = 1
+	man.Metrics = obs.Snapshot{}
+	man.Attribution = rows
+	man.Finish(clk)
+	if err := man.Validate(); err != nil {
+		t.Fatalf("manifest with attribution rows failed validation: %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"cohort/internal/obs"
+)
+
+// Live progress. The expensive primitives (runSystem, optimizeTimers) sit
+// behind process-wide memos, so the natural chokepoints for progress
+// accounting are the memo probes: a hit bumps the handle's memo-hit
+// counter, a miss bumps the miss counter and threads the handle into the
+// fresh simulation (core.System.SetProgress) or optimization
+// (opt.GAConfig.Progress). Unlike Options.Metrics — which is published
+// post-hoc so snapshots stay byte-identical for every Jobs value — the
+// progress handle is explicitly live and scheduling-dependent: it feeds
+// only the RunTracker's pull-sampled endpoints and never any canonical
+// output.
+//
+// The handle is held in a package-level atomic alongside the memos it
+// instruments (runSystem has no Options parameter to thread it through).
+// RunHandle methods are atomic and nil-safe, so racing cells may bump a
+// handle — or no handle — without coordination.
+var progressHandle atomic.Pointer[obs.RunHandle]
+
+// AttachProgress installs the live-progress handle the experiment
+// primitives report into; nil detaches. Returns the previous handle so
+// tests can restore it.
+func AttachProgress(h *obs.RunHandle) *obs.RunHandle {
+	return progressHandle.Swap(h)
+}
+
+// progress returns the currently attached handle (nil when detached; all
+// RunHandle methods are no-ops on nil).
+func progress() *obs.RunHandle {
+	return progressHandle.Load()
+}

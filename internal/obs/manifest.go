@@ -61,12 +61,33 @@ func CaptureHost() *HostInfo {
 	return &HostInfo{NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 }
 
+// AttributionRow is one core's miss-latency decomposition under one system
+// on one benchmark (stats.Attribution, DESIGN.md §15). The components plus
+// the hit cycles sum exactly to the core's total memory latency — Validate
+// enforces the identity, so a manifest can never carry an inconsistent
+// decomposition.
+type AttributionRow struct {
+	Benchmark    string `json:"benchmark"`
+	System       string `json:"system"`
+	Core         int    `json:"core"`
+	Critical     bool   `json:"critical"`
+	Misses       int64  `json:"misses"`
+	Arbitration  int64  `json:"arbitration_cycles"`
+	TimerStall   int64  `json:"timer_stall_cycles"`
+	Transfer     int64  `json:"transfer_cycles"`
+	DRAM         int64  `json:"dram_cycles"`
+	HitCycles    int64  `json:"hit_cycles"`
+	TotalLatency int64  `json:"total_latency"`
+}
+
 // Manifest describes one CLI invocation: what ran (tool, args, config
 // fingerprint, input traces, seed, workers, oracle batch width), when and
 // for how long (the only wall-clock fields in the repository), and what it
-// measured (engine
-// counters and the full metrics snapshot). Manifests are the unit of
-// comparison for cmd/cohort-report.
+// measured (engine counters, the full metrics snapshot, and optionally the
+// per-core WCML latency attribution). Manifests are the unit of comparison
+// for cmd/cohort-report. Note -fingerprints digests only the Metrics
+// snapshot, so the attribution rows extend manifests without disturbing
+// committed fingerprints.
 type Manifest struct {
 	Schema      string             `json:"schema"`
 	Tool        string             `json:"tool"`
@@ -81,6 +102,7 @@ type Manifest struct {
 	Host        *HostInfo          `json:"host,omitempty"`
 	Engine      *stats.EngineStats `json:"engine,omitempty"`
 	Metrics     Snapshot           `json:"metrics,omitempty"`
+	Attribution []AttributionRow   `json:"attribution,omitempty"`
 	Notes       string             `json:"notes,omitempty"`
 }
 
@@ -162,6 +184,19 @@ func (m *Manifest) Validate() error {
 		}
 		if met.Name == "" {
 			return fmt.Errorf("manifest: metric with empty name")
+		}
+	}
+	for _, a := range m.Attribution {
+		if a.Benchmark == "" || a.System == "" {
+			return fmt.Errorf("manifest: attribution row missing benchmark/system: %+v", a)
+		}
+		if a.Core < 0 || a.Misses < 0 || a.Arbitration < 0 || a.TimerStall < 0 ||
+			a.Transfer < 0 || a.DRAM < 0 || a.HitCycles < 0 {
+			return fmt.Errorf("manifest: negative attribution component: %+v", a)
+		}
+		if sum := a.Arbitration + a.TimerStall + a.Transfer + a.DRAM + a.HitCycles; sum != a.TotalLatency {
+			return fmt.Errorf("manifest: attribution of %s/%s core %d does not decompose: components sum to %d, total %d",
+				a.Benchmark, a.System, a.Core, sum, a.TotalLatency)
 		}
 	}
 	return nil

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	clk := newStepClock()
+	tr := NewRunTracker(clk)
+	h := tr.Register("cohort-bench", "fig5a")
+	h.AddEvents(42)
+	reg := NewRegistry()
+	reg.Sync(func() { reg.Counter("demo_total").Add(7) })
+
+	srv, err := StartDebugServer("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body), resp
+	}
+
+	body, _ := get("/healthz")
+	if body != "ok\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	body, resp := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, PromContentType)
+	}
+	for _, want := range []string{
+		`cohort_run_events_total{run="cohort-bench-1",tool="cohort-bench",name="fig5a"} 42`,
+		"demo_total 7",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	body, resp = get("/runs")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/runs Content-Type = %q", ct)
+	}
+	var runs []RunStatus
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/runs does not parse: %v\n%s", err, body)
+	}
+	if len(runs) != 1 || runs[0].Events != 42 {
+		t.Errorf("/runs = %+v", runs)
+	}
+
+	// The profiler index and a cheap sub-handler must both be mounted.
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profile list:\n%.400s", body)
+	}
+	get("/debug/pprof/cmdline")
+}
+
+func TestDebugServerNilSources(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Errorf("nil-source /metrics: status %d body %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/runs", srv.Addr()))
+	if err != nil {
+		t.Fatalf("GET /runs: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.TrimSpace(string(body)); got != "[]" {
+		t.Errorf("nil-tracker /runs = %q, want []", got)
+	}
+}
+
+func TestDebugServerClose(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	addr := srv.Addr()
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("Addr() did not resolve the port: %q", addr)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Errorf("server still serving after Close")
+	}
+	var nilSrv *DebugServer
+	if nilSrv.Close() != nil || nilSrv.Addr() != "" {
+		t.Errorf("nil DebugServer methods not nil-safe")
+	}
+}

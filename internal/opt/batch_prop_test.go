@@ -91,7 +91,7 @@ func TestEvaluatorCoreMemoDeterministic(t *testing.T) {
 		memo     []map[config.Timer][2]int64
 	}
 	run := func(workers, oracleBatch int) snapshot {
-		e := newEvaluator(p, workers, oracleBatch)
+		e := newEvaluator(p, workers, oracleBatch, nil)
 		var evals [][]Evaluation
 		for _, seq := range sequences {
 			evals = append(evals, e.batch(seq))

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"cohort/internal/config"
+	"cohort/internal/obs"
 	"cohort/internal/trace"
 )
 
@@ -26,6 +27,10 @@ type HCConfig struct {
 	// many columns; 0 and 1 keep the scalar oracle. The Result is
 	// byte-identical for every value.
 	OracleBatch int
+	// Progress, when non-nil, receives live pull-sampled progress with the
+	// same semantics as GAConfig.Progress; restarts are reported as
+	// generations. Purely observational.
+	Progress *obs.RunHandle
 }
 
 // DefaultHC returns the parameters used by the optimizer ablation.
@@ -64,7 +69,8 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 		res.Evaluations = 1
 		return res, nil
 	}
-	oracle := newEvaluator(p, hc.Workers, hc.OracleBatch)
+	oracle := newEvaluator(p, hc.Workers, hc.OracleBatch, hc.Progress)
+	hc.Progress.SetGenerations(int64(hc.Restarts))
 	if hc.OracleBatch > 1 {
 		res.ThetaIS = thetaISBatched(p, hc.Workers, oracle)
 	} else {
@@ -137,6 +143,7 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 			genes, cur, curFit = neighbors[bestN], evs[bestN], bestNFit
 		}
 		res.BestHistory = append(res.BestHistory, curFit)
+		hc.Progress.SetGeneration(int64(r + 1))
 		if curFit < bestFit {
 			bestFit, bestGenes, bestEval = curFit, genes, cur
 		}

@@ -277,15 +277,20 @@ type evaluator struct {
 	// computed counts oracle evaluations actually performed (cache misses
 	// deduped within each batch).
 	computed int
+	// progress, when non-nil, receives live memo-hit/miss and batch-lane
+	// counts (obs.RunTracker). Bumped only on the serial coordinator
+	// goroutine, after parallel sections merge.
+	progress *obs.RunHandle
 }
 
-func newEvaluator(p *Problem, workers, oracleBatch int) *evaluator {
+func newEvaluator(p *Problem, workers, oracleBatch int, progress *obs.RunHandle) *evaluator {
 	e := &evaluator{
 		p:           p,
 		c:           p.compile(),
 		workers:     workers,
 		oracleBatch: oracleBatch,
 		cache:       parallel.NewCache[Evaluation](),
+		progress:    progress,
 	}
 	if oracleBatch > 1 {
 		e.coreMemo = make([]map[config.Timer][2]int64, len(p.Streams))
@@ -356,6 +361,7 @@ func (e *evaluator) prefill(genomes [][]config.Timer) {
 			e.coreMemo[units[u].core][th] = [2]int64{results[u].hits[k], results[u].misses[k]}
 		}
 	}
+	e.progress.AddLanes(int64(len(units)))
 }
 
 // genomeKey builds the memo-cache key of a full timer vector. The problem is
@@ -381,12 +387,14 @@ func (e *evaluator) batch(genomes [][]config.Timer) []Evaluation {
 	slot := make([]int, len(genomes))
 	var jobs [][]config.Timer
 	var jobKeys []string
+	var cached int64
 	queued := make(map[string]int, len(genomes))
 	for i, g := range genomes {
 		timers := e.p.Timers(g)
 		key := genomeKey(timers)
 		if v, ok := e.cache.Get(key); ok {
 			out[i], slot[i] = v, -1
+			cached++
 			continue
 		}
 		if j, ok := queued[key]; ok {
@@ -418,6 +426,8 @@ func (e *evaluator) batch(genomes [][]config.Timer) []Evaluation {
 		e.cache.Put(jobKeys[j], results[j])
 	}
 	e.computed += len(jobs)
+	e.progress.AddMemoHits(cached)
+	e.progress.AddMemoMisses(int64(len(jobs)))
 	for i := range genomes {
 		if slot[i] >= 0 {
 			out[i] = results[slot[i]]
@@ -527,6 +537,14 @@ type GAConfig struct {
 	// (timestamped by generation index under obs.PidOpt). Purely
 	// observational, like Metrics.
 	Recorder *obs.Recorder
+	// Progress, when non-nil, receives live pull-sampled progress: the
+	// planned and completed generation counts, memo-cache hits/misses, and
+	// batched-oracle lane completions (obs.RunTracker). Purely observational,
+	// like Metrics: samples are scheduling-dependent and never affect the
+	// Result. Unlike Metrics and Recorder it survives the experiment
+	// harness's memoization strip — live progress is allowed to depend on
+	// memo state, canonical output is not.
+	Progress *obs.RunHandle
 }
 
 // DefaultGA returns the parameters used by the experiment harness.
@@ -594,7 +612,8 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 		return res, nil
 	}
 
-	oracle := newEvaluator(p, gc.Workers, gc.OracleBatch)
+	oracle := newEvaluator(p, gc.Workers, gc.OracleBatch, gc.Progress)
+	gc.Progress.SetGenerations(int64(gc.Generations))
 
 	// Per-gene upper bounds: θ_is from the saturation sweep (§V). The
 	// batched sweep also seeds the oracle's per-core memo from its samples.
@@ -733,6 +752,7 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 			}
 		}
 		res.BestHistory = append(res.BestHistory, best.fit)
+		gc.Progress.SetGeneration(int64(gen + 1))
 		if gc.Recorder != nil {
 			gc.Recorder.Complete(obs.PidOpt, 0, fmt.Sprintf("generation %d", gen), "ga",
 				int64(gen), 1, map[string]string{
@@ -758,13 +778,18 @@ func publishMetrics(reg *obs.Registry, res *Result) {
 	if reg == nil {
 		return
 	}
-	reg.Counter("opt_runs_total").Inc()
-	reg.Counter("opt_evaluations_total").Add(int64(res.Evaluations))
-	reg.Counter("opt_engine_jobs_total").Add(res.Engine.Jobs)
-	reg.Counter("opt_engine_cache_hits_total").Add(res.Engine.CacheHits)
-	reg.Counter("opt_engine_cache_misses_total").Add(res.Engine.CacheMisses)
-	reg.Gauge("opt_generations").Set(int64(len(res.BestHistory)))
-	if n := len(res.BestHistory); n > 0 {
-		reg.FloatGauge("opt_best_fitness").Set(res.BestHistory[n-1])
-	}
+	// Publish under the registry's Sync lock so a concurrent live scrape
+	// (the debug server's /metrics) sees either none or all of this run's
+	// counters.
+	reg.Sync(func() {
+		reg.Counter("opt_runs_total").Inc()
+		reg.Counter("opt_evaluations_total").Add(int64(res.Evaluations))
+		reg.Counter("opt_engine_jobs_total").Add(res.Engine.Jobs)
+		reg.Counter("opt_engine_cache_hits_total").Add(res.Engine.CacheHits)
+		reg.Counter("opt_engine_cache_misses_total").Add(res.Engine.CacheMisses)
+		reg.Gauge("opt_generations").Set(int64(len(res.BestHistory)))
+		if n := len(res.BestHistory); n > 0 {
+			reg.FloatGauge("opt_best_fitness").Set(res.BestHistory[n-1])
+		}
+	})
 }

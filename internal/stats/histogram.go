@@ -17,6 +17,7 @@ type Histogram struct {
 	counts [histBuckets]int64
 	total  int64
 	max    int64
+	sum    int64
 }
 
 // Observe records one non-negative sample (negative samples are clamped
@@ -31,6 +32,7 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.counts[b]++
 	h.total++
+	h.sum += v
 	if v > h.max {
 		h.max = v
 	}
@@ -38,6 +40,11 @@ func (h *Histogram) Observe(v int64) {
 
 // Total returns the number of samples.
 func (h *Histogram) Total() int64 { return h.total }
+
+// Sum returns the exact sum of all observed samples (after clamping). The
+// Prometheus exporter needs it for the _sum series; it is deliberately kept
+// out of canonical snapshots, which predate it.
+func (h *Histogram) Sum() int64 { return h.sum }
 
 // Max returns the largest observed sample.
 func (h *Histogram) Max() int64 { return h.max }
@@ -89,6 +96,7 @@ func (h *Histogram) Merge(other *Histogram) {
 		h.counts[b] += other.counts[b]
 	}
 	h.total += other.total
+	h.sum += other.sum
 	if other.max > h.max {
 		h.max = other.max
 	}

@@ -30,6 +30,9 @@ type Core struct {
 	Upgrades int64
 	// Latency is the per-access latency distribution.
 	Latency Histogram
+	// Attr decomposes the miss latency into arbitration / timer-stall /
+	// transfer / DRAM components (see Attribution).
+	Attr Attribution
 }
 
 // RecordAccess folds one completed access into the counters.
