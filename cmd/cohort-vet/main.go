@@ -8,12 +8,18 @@
 // requires every //cohort:allow annotation to use the canonical
 // '//cohort:allow <analyzer>: <reason>' form with a registered analyzer.
 //
-// Three whole-program analyzers run over a conservative call graph of the
-// entire module rather than file by file: hotalloc (no allocation sites
-// reachable from //cohort:hotpath roots), reachcontract (the determinism
-// contracts enforced transitively from hot-path and oracle roots) and
-// parallelpure (jobs handed to parallel.Map/MapErr may write only their
-// index-addressed result slot).
+// Eight whole-program analyzers run over a conservative call graph of the
+// entire module rather than file by file. Three guard the hot path: hotalloc
+// (no allocation sites reachable from //cohort:hotpath roots), reachcontract
+// (the determinism contracts enforced transitively from hot-path and oracle
+// roots) and parallelpure (jobs handed to parallel.Map/MapErr may write only
+// their index-addressed result slot). Five guard the concurrency contracts:
+// lockorder (no cycles in the global mutex-acquisition order graph), atomicmix
+// (a variable touched through sync/atomic is never accessed plainly), goleak
+// (every go statement has a visible join or cancel path), ctxflow (blocking
+// operations reachable from a //cohort:server root accept a context.Context)
+// and syncmisuse (copied locks, WaitGroup.Add inside the goroutine, double
+// unlock, cross-goroutine channel close without //cohort:chanowner).
 //
 // Usage:
 //
@@ -33,6 +39,8 @@
 //	                 until pruned (the ratchet only shrinks)
 //	-write-baseline  regenerate the -baseline file from the current findings
 //	-json file       write the findings as a JSON report ("-" for stdout)
+//	-only names      run only the named analyzers (comma-separated); CI uses
+//	                 this to emit a concurrency-only report artifact
 //	-graph           dump the conservative call graph and exit
 //	-list            list the analyzers and exit
 package main
@@ -42,6 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"cohort/internal/lint"
 )
@@ -89,6 +99,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline `file` of accepted findings (ratcheted: new findings fail)")
 	writeBaseline := flag.Bool("write-baseline", false, "regenerate the -baseline file from current findings")
 	jsonOut := flag.String("json", "", "write findings as a JSON report to `file` (\"-\" for stdout)")
+	only := flag.String("only", "", "run only these `analyzers` (comma-separated names)")
 	graph := flag.Bool("graph", false, "dump the conservative whole-program call graph and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: cohort-vet [flags] [packages]\n\n")
@@ -98,6 +109,29 @@ func main() {
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
+	if *only != "" {
+		wanted := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(name)] = true
+		}
+		var selected []*lint.Analyzer
+		for _, a := range analyzers {
+			if wanted[a.Name] {
+				selected = append(selected, a)
+				delete(wanted, a.Name)
+			}
+		}
+		if len(wanted) > 0 {
+			var unknown []string
+			for name := range wanted {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "cohort-vet: -only names unknown analyzer(s) %v (see -list)\n", unknown)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
 	if *list {
 		for _, a := range analyzers {
 			kind := "package"
@@ -163,7 +197,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cohort-vet: no contract packages matched %v\n", patterns)
 		os.Exit(2)
 	}
-	for _, a := range lint.ProgramAnalyzers() {
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
 		diags, err := lint.RunOnProgram(a, prog, cg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

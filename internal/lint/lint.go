@@ -126,6 +126,11 @@ func Analyzers() []*Analyzer {
 		HotAllocAnalyzer,
 		ReachContractAnalyzer,
 		ParallelPureAnalyzer,
+		LockOrderAnalyzer,
+		AtomicMixAnalyzer,
+		GoLeakAnalyzer,
+		CtxFlowAnalyzer,
+		SyncMisuseAnalyzer,
 	}
 }
 

@@ -105,7 +105,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"maprange", "walltime", "globalrand", "eventgoroutine", "floataccum", "exhaustive", "allowdoc", "hotalloc", "reachcontract", "parallelpure"} {
+	for _, want := range []string{"maprange", "walltime", "globalrand", "eventgoroutine", "floataccum", "exhaustive", "allowdoc", "hotalloc", "reachcontract", "parallelpure", "lockorder", "atomicmix", "goleak", "ctxflow", "syncmisuse"} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

@@ -1,0 +1,17 @@
+// Package mutant is a committed seeded regression for the atomicmix
+// analyzer: hits is written through sync/atomic and read plainly. If the
+// analyzer ever stops reporting the mixed access, it has failed open and the
+// TestConcurrencyMutants gate fails the build.
+package mutant
+
+import "sync/atomic"
+
+var hits int64
+
+func Inc() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func Read() int64 {
+	return hits
+}

@@ -1,0 +1,12 @@
+// Package mutant is a committed seeded regression for the ctxflow analyzer:
+// a //cohort:server root blocks on a channel without accepting a
+// context.Context. If the analyzer ever stops reporting the block, it has
+// failed open and the TestConcurrencyMutants gate fails the build.
+package mutant
+
+var done = make(chan struct{})
+
+//cohort:server
+func Handle() {
+	<-done
+}

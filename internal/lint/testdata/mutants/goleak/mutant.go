@@ -1,0 +1,11 @@
+// Package mutant is a committed seeded regression for the goleak analyzer:
+// the spawned goroutine has no join, no context, and no lifecycle owner. If
+// the analyzer ever stops reporting the leak, it has failed open and the
+// TestConcurrencyMutants gate fails the build.
+package mutant
+
+var n int
+
+func Spawn() {
+	go func() { n++ }()
+}

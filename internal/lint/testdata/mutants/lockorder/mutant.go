@@ -1,0 +1,26 @@
+// Package mutant is a committed seeded regression for the lockorder
+// analyzer: two paths acquire {a, b} in opposite orders. If the analyzer
+// ever stops reporting a lock-order cycle here, it has failed open and the
+// TestConcurrencyMutants gate fails the build.
+package mutant
+
+import "sync"
+
+var a, b sync.Mutex
+var n int
+
+func AB() {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock()
+	defer b.Unlock()
+	n++
+}
+
+func BA() {
+	b.Lock()
+	defer b.Unlock()
+	a.Lock()
+	defer a.Unlock()
+	n++
+}

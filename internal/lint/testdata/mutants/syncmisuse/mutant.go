@@ -1,0 +1,19 @@
+// Package mutant is a committed seeded regression for the syncmisuse
+// analyzer: a mutex-holding struct is copied by value. If the analyzer ever
+// stops reporting the copy, it has failed open and the
+// TestConcurrencyMutants gate fails the build.
+package mutant
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+var state Guarded
+
+func Snapshot() Guarded {
+	copied := state
+	return copied
+}

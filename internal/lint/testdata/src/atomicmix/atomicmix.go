@@ -1,0 +1,66 @@
+// Package atomicmix exercises the mixed-access analyzer: a field or variable
+// whose address ever flows into sync/atomic must be accessed through
+// sync/atomic everywhere.
+package atomicmix
+
+import (
+	"sync/atomic"
+
+	"cohort/lint-testdata/atomicmix/dep"
+)
+
+type Counter struct {
+	n    int64
+	m    int64
+	cold int64
+}
+
+// Inc marks Counter.n as an atomic class; the &c.n operand itself is the
+// sanctioned mention.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read mixes in a plain load of the same field.
+func (c *Counter) Read() int64 {
+	return c.n // want "Counter.n is accessed atomically"
+}
+
+// Reset mixes in a plain store.
+func (c *Counter) Reset() {
+	c.n = 0 // want "Counter.n is accessed atomically"
+}
+
+// AllAtomic is the negative: every access to m goes through sync/atomic.
+func (c *Counter) AllAtomic() int64 {
+	atomic.AddInt64(&c.m, 1)
+	return atomic.LoadInt64(&c.m)
+}
+
+// Cold never meets sync/atomic: plain accesses are fine.
+func (c *Counter) Cold() int64 {
+	c.cold++
+	return c.cold
+}
+
+// Waived documents a known-benign plain read (single-goroutine init phase).
+func (c *Counter) Waived() int64 {
+	return c.n //cohort:allow atomicmix: suppression case for the golden
+}
+
+// Typed atomics are immune by construction: their value is unexported, so
+// there is nothing to access plainly.
+type TypedCounter struct {
+	n atomic.Int64
+}
+
+func (c *TypedCounter) Bump() int64 {
+	c.n.Add(1)
+	return c.n.Load()
+}
+
+// Bump marks the dep package's exported counter atomic from here; the plain
+// read back in dep is caught through program-wide object identity.
+func Bump() {
+	atomic.AddInt64(&dep.Hits, 1)
+}

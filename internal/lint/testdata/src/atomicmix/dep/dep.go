@@ -1,0 +1,12 @@
+// Package dep is the cross-package side of the atomicmix golden: the root
+// package touches Hits atomically, so this package's plain read is a finding
+// even though no sync/atomic call appears here.
+package dep
+
+// Hits is incremented atomically by the root package.
+var Hits int64
+
+// Snapshot reads the counter plainly.
+func Snapshot() int64 {
+	return Hits // want "dep.Hits is accessed atomically"
+}

@@ -1,0 +1,66 @@
+// Package ctxflow exercises the context-flow analyzer: blocking operations
+// reachable from a //cohort:server root must sit in functions that accept a
+// context.Context.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cohort/lint-testdata/ctxflow/dep"
+)
+
+var done = make(chan struct{})
+var sink int
+
+// Handle is a server root that blocks directly, with no way to cancel.
+//
+//cohort:server
+func Handle() {
+	<-done // want "channel receive in ctxflow.Handle reachable from //cohort:server root"
+	waitDeep()
+	dep.Block()
+	pollReady()
+	waitCtx(context.Background())
+	compute()
+}
+
+// waitDeep blocks one frame below the root: the finding names the path.
+func waitDeep() {
+	time.Sleep(time.Millisecond) // want "blocking call time.Sleep in ctxflow.waitDeep reachable from //cohort:server root \\(ctxflow.Handle → ctxflow.waitDeep\\)"
+}
+
+// pollReady is the non-blocking negative: select with default never parks.
+func pollReady() bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// waitCtx is the plumbed negative: it blocks, but accepts the context that
+// can cancel the wait.
+func waitCtx(ctx context.Context) {
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// compute never blocks: nothing to report however it is reached.
+func compute() { sink++ }
+
+// HandleWaived is a root whose one blocking wait is documented as bounded.
+//
+//cohort:server
+func HandleWaived(wg *sync.WaitGroup) {
+	wg.Wait() //cohort:allow ctxflow: suppression case for the golden
+}
+
+// Background is NOT a server root: its unbounded block is out of scope.
+func Background() {
+	<-done
+}

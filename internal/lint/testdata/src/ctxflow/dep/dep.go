@@ -1,0 +1,11 @@
+// Package dep is the cross-package side of the ctxflow golden: the blocking
+// function lives here, the //cohort:server root that reaches it lives in the
+// root package, and the finding lands on the block with the full call path.
+package dep
+
+var gate = make(chan struct{})
+
+// Block parks on a package-internal channel.
+func Block() {
+	<-gate // want "channel receive in dep.Block reachable from //cohort:server root \\(ctxflow.Handle → dep.Block\\)"
+}

@@ -1,0 +1,24 @@
+// Package dep is the cross-package side of the goleak golden: a leak in a
+// dependency package is reported there, and a lifecycle owner defined here
+// satisfies spawns made from the root package.
+package dep
+
+var sink int
+
+// Ticker is a lifecycle owner: Run is meant to be spawned and Stop joins it.
+type Ticker struct {
+	stop chan struct{}
+}
+
+func NewTicker() *Ticker { return &Ticker{stop: make(chan struct{})} }
+
+// Run parks until Stop.
+func (t *Ticker) Run() { <-t.stop }
+
+// Stop ends Run.
+func (t *Ticker) Stop() { close(t.stop) }
+
+// Leak is the positive on this side of the boundary.
+func Leak() {
+	go func() { sink++ }() // want "goroutine has no statically visible join or cancel path"
+}

@@ -1,0 +1,104 @@
+// Package goleak exercises the goroutine-leak analyzer: every go statement
+// needs a statically visible join or cancel path.
+package goleak
+
+import (
+	"context"
+	"sync"
+
+	"cohort/lint-testdata/goleak/dep"
+)
+
+var sink int
+
+func work() { sink++ }
+
+// Leak is the positive: nothing joins or cancels the goroutine.
+func Leak() {
+	go work() // want "goroutine has no statically visible join or cancel path"
+}
+
+// FireAndForget is the waived shape: deliberately detached, reason on file.
+func FireAndForget() {
+	go work() //cohort:allow goleak: suppression case for the golden
+}
+
+// WaitJoined joins through WaitGroup.Wait in the spawner.
+func WaitJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// ChanJoined joins through a channel receive in the spawner.
+func ChanJoined() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// SelectJoined joins through a select in the spawner.
+func SelectJoined(stop chan struct{}) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-stop:
+	}
+}
+
+// CtxSpawner holds the cancel path itself: the caller owns ctx.
+func CtxSpawner(ctx context.Context) {
+	go work()
+}
+
+// CtxLiteral hands the cancel path to the goroutine: the spawned literal's
+// own signature accepts the context even though the spawning literal's does
+// not.
+func CtxLiteral(ctx context.Context) func() {
+	return func() {
+		go func(c context.Context) {
+			_ = c
+			work()
+		}(ctx)
+	}
+}
+
+// Owner is the lifecycle shape: the goroutine dies with the returned object.
+type Owner struct {
+	stop chan struct{}
+}
+
+func (o *Owner) loop() { <-o.stop }
+
+// Close stops the loop goroutine.
+func (o *Owner) Close() error {
+	close(o.stop)
+	return nil
+}
+
+// Start returns an Owner whose Close joins the goroutine: the result type
+// declares Close, so the spawn passes.
+func Start() *Owner {
+	o := &Owner{stop: make(chan struct{})}
+	go o.loop()
+	return o
+}
+
+// CrossOwner spawns a method of a type from another package that declares
+// Stop: the lifecycle check follows the receiver type across the boundary.
+func CrossOwner() *dep.Ticker {
+	t := dep.NewTicker()
+	go t.Run()
+	return t
+}

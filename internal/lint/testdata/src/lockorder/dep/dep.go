@@ -1,0 +1,17 @@
+// Package dep is the cross-package side of the lockorder golden: its
+// package-level mutex is one lock class program-wide, whichever package
+// acquires it.
+package dep
+
+import "sync"
+
+// Mu is exported so the root package can acquire the same class directly.
+var Mu sync.Mutex
+
+// WithMu runs fn under Mu; callers holding their own lock create a
+// cross-package order edge through this function's summary.
+func WithMu(fn func()) {
+	Mu.Lock()
+	defer Mu.Unlock()
+	fn()
+}

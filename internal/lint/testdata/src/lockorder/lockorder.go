@@ -1,0 +1,135 @@
+// Package lockorder exercises the whole-program lock-order analyzer: cycles
+// in the mutex-acquisition order graph, recursive acquisitions, and the
+// release-before-acquire and allow-suppression negatives.
+package lockorder
+
+import (
+	"sync"
+
+	"cohort/lint-testdata/lockorder/dep"
+)
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+}
+
+var state int
+
+// AB and BA acquire {a, b} in opposite orders: the classic two-lock deadlock.
+// The cycle is reported once, anchored at the first edge's acquisition site
+// (b.Lock while a is held; lockorder.S.a is the smallest class display).
+func (s *S) AB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want "lock-order cycle lockorder.S.a → lockorder.S.b → lockorder.S.a"
+	defer s.b.Unlock()
+	state++
+}
+
+func (s *S) BA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	defer s.a.Unlock()
+	state++
+}
+
+// CD and DC form the same deadlock shape on {c, d}; the annotation on the
+// anchor line waives the cycle (a known-benign pair would carry the reason).
+func (s *S) CD() {
+	s.c.Lock()
+	defer s.c.Unlock()
+	s.d.Lock() //cohort:allow lockorder: suppression case for the golden
+	defer s.d.Unlock()
+	state++
+}
+
+func (s *S) DC() {
+	s.d.Lock()
+	defer s.d.Unlock()
+	s.c.Lock()
+	defer s.c.Unlock()
+	state++
+}
+
+// Recursive acquisition: not a two-goroutine interleaving — this path alone
+// self-deadlocks because Go mutexes are not reentrant.
+func (s *S) Rec() {
+	s.a.Lock()
+	s.a.Lock() // want "recursive acquisition of lockorder.S.a"
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+// RecViaCall reaches the second acquisition through a callee: the report
+// sits at the call site and names the acquisition path.
+func (s *S) RecViaCall() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.lockB() // want "call into lockorder.\\(\\*S\\).lockB acquires lockorder.S.b"
+}
+
+func (s *S) lockB() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	state++
+}
+
+// Sequential is the negative: releasing before the next acquisition imposes
+// no order, so opposite sequential orders are fine.
+func (s *S) Sequential() {
+	s.a.Lock()
+	state++
+	s.a.Unlock()
+	s.b.Lock()
+	state++
+	s.b.Unlock()
+}
+
+func (s *S) SequentialReverse() {
+	s.b.Lock()
+	state++
+	s.b.Unlock()
+	s.a.Lock()
+	state++
+	s.a.Unlock()
+}
+
+// Spawned goroutines do not inherit the spawner's holds: the literal locks b
+// while the spawner holds a, but on a different goroutine — no a→b edge, so
+// no cycle against GoBA below.
+func (s *S) GoAB(join chan struct{}) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	go func() {
+		s.b.Lock()
+		state++
+		s.b.Unlock()
+		close(join)
+	}()
+	<-join
+}
+
+var rootMu sync.Mutex
+
+// CrossHold acquires the dep package's lock while holding rootMu — the
+// rootMu→dep.Mu edge crosses a package boundary through dep.WithMu's summary.
+func CrossHold() {
+	rootMu.Lock()
+	defer rootMu.Unlock()
+	dep.WithMu(func() { state++ })
+}
+
+// CrossReverse closes the cycle from the other side: dep.Mu (the same class
+// object, resolved cross-package) held while rootMu is acquired. dep.Mu sorts
+// first, so the cycle anchors here.
+func CrossReverse() {
+	dep.Mu.Lock()
+	defer dep.Mu.Unlock()
+	rootMu.Lock() // want "lock-order cycle dep.Mu → lockorder.rootMu → dep.Mu"
+	defer rootMu.Unlock()
+	state++
+}

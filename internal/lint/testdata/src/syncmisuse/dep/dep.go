@@ -1,0 +1,12 @@
+// Package dep is the cross-package side of the syncmisuse golden: the root
+// package sends on Events, this package closes it — one channel object
+// program-wide, so the unannotated close is reported here.
+package dep
+
+// Events is closed here but fed by the root package.
+var Events = make(chan int)
+
+// Close closes the shared channel.
+func Close() {
+	close(Events) // want "channel dep.Events is closed here but sent to in syncmisuse.CrossSend"
+}

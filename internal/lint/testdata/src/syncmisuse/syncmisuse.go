@@ -1,0 +1,137 @@
+// Package syncmisuse exercises the sync-primitive misuse analyzer: copied
+// locks, WaitGroup.Add inside the spawned goroutine, double unlock on a
+// path, and cross-goroutine channel close without //cohort:chanowner.
+package syncmisuse
+
+import (
+	"sync"
+
+	"cohort/lint-testdata/syncmisuse/dep"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+var sink int
+
+func consume(g Guarded) { sink += g.n }
+
+// Copies demonstrates every copy shape: assignment, call argument, return.
+func Copies(g Guarded) Guarded {
+	h := g // want "assignment copies a value of type syncmisuse.Guarded"
+	consume(g) // want "call argument copies a value of type syncmisuse.Guarded"
+	_ = h
+	return g // want "return copies a value of type syncmisuse.Guarded"
+}
+
+// RangeCopy iterates a slice of lock-holding structs by value.
+func RangeCopy(gs []Guarded) {
+	for _, g := range gs { // want "range copies values of type syncmisuse.Guarded"
+		sink += g.n
+	}
+}
+
+// ByPointer is the negative: pointers share the lock, fresh composite
+// literals and call results are new values, not copies.
+func ByPointer(g *Guarded) *Guarded {
+	h := g
+	fresh := Guarded{}
+	_ = fresh
+	return h
+}
+
+// WaivedCopy documents a sanctioned copy (value not yet shared).
+func WaivedCopy(g Guarded) {
+	h := g //cohort:allow syncmisuse: suppression case for the golden
+	_ = h
+}
+
+// AddInside puts the Add on the wrong side of the go statement: Wait can
+// pass before the goroutine runs.
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "WaitGroup.Add inside the spawned goroutine"
+		defer wg.Done()
+		sink++
+	}()
+	wg.Wait()
+}
+
+// AddOutside is the correct shape.
+func AddOutside() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink++
+	}()
+	wg.Wait()
+}
+
+var mu sync.Mutex
+
+// DoubleUnlock releases twice on one path.
+func DoubleUnlock() {
+	mu.Lock()
+	sink++
+	mu.Unlock()
+	mu.Unlock() // want "unlock of syncmisuse.mu which this path has not locked"
+}
+
+// UnlockAfterDefer schedules the unlock twice: once deferred, once explicit.
+func UnlockAfterDefer() {
+	mu.Lock()
+	defer mu.Unlock()
+	sink++
+	mu.Unlock() // want "unlock of syncmisuse.mu after `defer` already scheduled its unlock"
+}
+
+// Balanced is the negative: lock/unlock pairs match on every path walked.
+func Balanced() {
+	mu.Lock()
+	sink++
+	mu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+	sink++
+}
+
+// events is closed by Stop but sent to from pump: two different functions,
+// conservatively two goroutines — the close must be annotated or single-owner.
+var events = make(chan int)
+
+func pump() { events <- 1 }
+
+// Stop closes a channel someone else sends on.
+func Stop() {
+	close(events) // want "channel syncmisuse.events is closed here but sent to in syncmisuse.pump"
+}
+
+// owned is the annotated shape: the declaration documents close ownership.
+//
+//cohort:chanowner run loop owns the close; producers stop first
+var owned = make(chan int)
+
+func pushOwned() { owned <- 1 }
+
+// StopOwned closing owned is waived by the chanowner annotation.
+func StopOwned() {
+	close(owned)
+}
+
+// local demonstrates the single-owner negative: send and close in the same
+// function are one goroutine's doing.
+func SingleOwner() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// CrossSend sends on the dep package's channel; dep closes it without an
+// annotation, so the close over there is the finding.
+func CrossSend() {
+	dep.Events <- 1
+}

@@ -6,6 +6,20 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
+)
+
+// Debug-server read/write deadlines. A debug endpoint must never let one
+// stuck client pin a handler goroutine: ReadHeaderTimeout bounds a
+// slow-header (slowloris) connection, WriteTimeout bounds a scrape that
+// stops reading mid-body. Package variables rather than constants so tests
+// can shrink them without waiting wall-clock seconds; production code never
+// mutates them. The values bound I/O on an operator-facing debug port, so
+// they are deliberately generous — pprof profile captures stream for up to
+// 30s by default and must fit inside the write deadline.
+var (
+	serverReadHeaderTimeout = 5 * time.Second
+	serverWriteTimeout      = 60 * time.Second
 )
 
 // DebugServer is the opt-in (-listen) HTTP surface over a live process: the
@@ -50,7 +64,11 @@ func StartDebugServer(addr string, reg *Registry, tracker *RunTracker) (*DebugSe
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: serverReadHeaderTimeout,
+		WriteTimeout:      serverWriteTimeout,
+	}
 	go s.srv.Serve(ln) // returns ErrServerClosed on Close; nothing to report
 	return s, nil
 }
@@ -72,11 +90,19 @@ func (s *DebugServer) Close() error {
 	return s.srv.Close()
 }
 
+// handleHealthz is the liveness probe: constant body, no shared state.
+//
+//cohort:server
 func (s *DebugServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
 }
 
+// handleMetrics serves the Prometheus exposition. Everything it reaches
+// holds locks for microseconds (registry snapshot, tracker atomics); the
+// ctxflow analyzer verifies nothing on this path can block unboundedly.
+//
+//cohort:server
 func (s *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", PromContentType)
 	if err := WritePromRuns(w, s.tracker.Sample()); err != nil {
@@ -85,6 +111,9 @@ func (s *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.reg.WriteProm(w)
 }
 
+// handleRuns serves the tracker's JSON sample.
+//
+//cohort:server
 func (s *DebugServer) handleRuns(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	s.tracker.WriteJSON(w)

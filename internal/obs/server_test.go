@@ -2,11 +2,15 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDebugServerEndpoints(t *testing.T) {
@@ -124,5 +128,61 @@ func TestDebugServerClose(t *testing.T) {
 	var nilSrv *DebugServer
 	if nilSrv.Close() != nil || nilSrv.Addr() != "" {
 		t.Errorf("nil DebugServer methods not nil-safe")
+	}
+}
+
+// TestDebugServerDropsSlowHeaderClient pins the ReadHeaderTimeout wiring: a
+// client that opens a connection and trickles (or never finishes) its request
+// headers must be disconnected once the deadline passes, instead of pinning a
+// handler goroutine forever. The timeout is shrunk for the test — the
+// mechanism under test is that the deadline is wired into the http.Server at
+// all, not its production value.
+func TestDebugServerDropsSlowHeaderClient(t *testing.T) {
+	defer func(read, write time.Duration) {
+		serverReadHeaderTimeout = read
+		serverWriteTimeout = write
+	}(serverReadHeaderTimeout, serverWriteTimeout)
+	serverReadHeaderTimeout = 50 * time.Millisecond
+
+	srv, err := StartDebugServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	defer srv.Close()
+
+	if got := srv.srv.ReadHeaderTimeout; got != 50*time.Millisecond {
+		t.Fatalf("ReadHeaderTimeout = %v, want the configured 50ms", got)
+	}
+	if srv.srv.WriteTimeout != serverWriteTimeout {
+		t.Fatalf("WriteTimeout = %v, want %v", srv.srv.WriteTimeout, serverWriteTimeout)
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	// Send a partial request line and then stall: the server must close the
+	// connection once ReadHeaderTimeout elapses. The read deadline here is a
+	// test harness bound (generous so slow CI cannot flake), not the wait we
+	// expect — the server-side timeout fires at 50ms.
+	if _, err := io.WriteString(conn, "GET /healthz HTTP/1.1\r\nHost: stalled"); err != nil {
+		t.Fatalf("write partial header: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := conn.Read(make([]byte, 1))
+	if err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("slow-header connection still open after ReadHeaderTimeout (read %d bytes, err %v)", n, err)
+	}
+
+	// The server itself must still be healthy for well-behaved clients.
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz after slow client dropped: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz after slow client: status %d", resp.StatusCode)
 	}
 }
