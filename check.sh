@@ -33,29 +33,31 @@ go test -race -shuffle=on ./internal/parallel ./internal/opt ./internal/experime
 echo "==> cohort-bench fig5a -j 8 smoke"
 go run ./cmd/cohort-bench -run fig5a -j 8 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 >/dev/null
 
-echo "==> batched-vs-scalar fuzz seeds (committed corpus)"
-go test -run FuzzBatchVsScalar ./internal/analysis
+echo "==> batched-vs-scalar and curve-vs-scalar fuzz seeds (committed corpus)"
+go test -run 'FuzzBatchVsScalar|FuzzCurveVsScalar' ./internal/analysis
 
-echo "==> coverage gate (internal/sim + internal/opt combined, pre-PR7 floor 93.7%)"
+echo "==> coverage gate (internal/sim + internal/opt + internal/analysis combined, post-PR10 floor 96.5%)"
 covdir="$(mktemp -d)"
-go test -coverprofile "$covdir/cover.out" ./internal/sim ./internal/opt >/dev/null
+go test -coverprofile "$covdir/cover.out" ./internal/sim ./internal/opt ./internal/analysis >/dev/null
 go tool cover -func "$covdir/cover.out" | awk '
   /^total:/ {
     sub(/%/, "", $3)
     printf "    combined coverage: %s%%\n", $3
-    if ($3 + 0 < 93.7) { print "    FAIL: below 93.7% floor"; exit 1 }
+    if ($3 + 0 < 96.5) { print "    FAIL: below 96.5% floor"; exit 1 }
   }'
 rm -rf "$covdir"
 
-echo "==> observability smoke (manifest + report gate, scalar and batched oracle)"
+echo "==> observability smoke (manifest + report gate: scalar, batched and curve oracle)"
 obsdir="$(mktemp -d)"
 trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/cohort-bench -run fig5a -j 1 -curve=false -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
+go run ./cmd/cohort-bench -run fig5a -j 8 -curve=false -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
+# The batched-oracle and curve-oracle (default) runs land in the same
+# directory under the same config key, so -check and the fingerprint diff
+# below gate batched ≡ curve ≡ scalar on the full CLI path, not just in unit
+# tests.
+go run ./cmd/cohort-bench -run fig5a -j 1 -curve=false -batch 16 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
 go run ./cmd/cohort-bench -run fig5a -j 1 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
-go run ./cmd/cohort-bench -run fig5a -j 8 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
-# The batched-oracle run lands in the same directory under the same config
-# key, so -check and the fingerprint diff below gate batched ≡ scalar on the
-# full CLI path, not just in unit tests.
-go run ./cmd/cohort-bench -run fig5a -j 1 -batch 16 -scale 0.01 -cap 800 -benches fft,water -pop 8 -gens 6 -out-dir "$obsdir" >/dev/null 2>&1
 go run ./cmd/cohort-report -dir "$obsdir" -check >/dev/null
 
 echo "==> perf smoke (bit-identical fingerprints vs pre-overhaul goldens)"

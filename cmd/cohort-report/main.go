@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"cohort/internal/obs"
 	"cohort/internal/stats"
@@ -55,6 +56,7 @@ type Group struct {
 type RunRow struct {
 	Workers     int                `json:"workers"`
 	OracleBatch int                `json:"oracle_batch,omitempty"`
+	Curve       bool               `json:"curve,omitempty"`
 	Seed        int64              `json:"seed"`
 	StartedAt   string             `json:"started_at"`
 	WallSeconds float64            `json:"wall_seconds"`
@@ -77,6 +79,7 @@ type TrajectoryEntry struct {
 	ConfigKey   string             `json:"config_key"`
 	Workers     int                `json:"workers"`
 	OracleBatch int                `json:"oracle_batch,omitempty"`
+	Curve       bool               `json:"curve,omitempty"`
 	NumCPU      int                `json:"num_cpu,omitempty"`
 	GoMaxProcs  int                `json:"gomaxprocs,omitempty"`
 	StartedAt   string             `json:"started_at"`
@@ -106,9 +109,13 @@ func run(args []string, stdout io.Writer) error {
 		check    = fs.Bool("check", false, "strict mode for CI: require at least one manifest and fail on any determinism mismatch")
 		benchOut = fs.String("bench-out", "", "append every run's wall time to this perf-trajectory JSON file")
 		fpOnly   = fs.Bool("fingerprints", false, "emit one 'tool config_key metrics_sha256' line per group and nothing else (for golden comparison in CI)")
+		speedup  = fs.String("speedup", "", "compare two perf-trajectory files 'BASE.json,NEW.json': per (tool, config key) group, the best wall time in each and the speedup")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *speedup != "" {
+		return runSpeedup(*speedup, stdout, *md)
 	}
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
@@ -218,6 +225,7 @@ func merge(ms []*obs.Manifest) *Report {
 			g.Runs = append(g.Runs, RunRow{
 				Workers:     m.Workers,
 				OracleBatch: m.OracleBatch,
+				Curve:       m.Curve,
 				Seed:        m.Seed,
 				StartedAt:   m.StartedAt,
 				WallSeconds: m.WallSeconds,
@@ -239,7 +247,7 @@ func render(w io.Writer, rep *Report, md bool) {
 	for _, g := range rep.Groups {
 		t := stats.NewTable(
 			fmt.Sprintf("%s @ %s", g.Tool, obs.ShortKey(g.ConfigKey)),
-			"workers", "batch", "seed", "started", "wall s", "engine jobs", "hits", "misses", "metrics")
+			"workers", "batch", "curve", "seed", "started", "wall s", "engine jobs", "hits", "misses", "metrics")
 		for _, r := range g.Runs {
 			jobs, hits, misses := "-", "-", "-"
 			if r.Engine != nil {
@@ -251,7 +259,11 @@ func render(w io.Writer, rep *Report, md bool) {
 			if r.OracleBatch > 1 {
 				batch = fmt.Sprintf("%d", r.OracleBatch)
 			}
-			t.AddRow(fmt.Sprintf("%d", r.Workers), batch, fmt.Sprintf("%d", r.Seed), r.StartedAt,
+			curve := "-"
+			if r.Curve {
+				curve = "yes"
+			}
+			t.AddRow(fmt.Sprintf("%d", r.Workers), batch, curve, fmt.Sprintf("%d", r.Seed), r.StartedAt,
 				fmt.Sprintf("%.2f", r.WallSeconds), jobs, hits, misses, fmt.Sprintf("%d", r.Metrics))
 		}
 		if md {
@@ -326,6 +338,7 @@ func appendTrajectory(path string, ms []*obs.Manifest) error {
 			ConfigKey:   m.ConfigKey,
 			Workers:     m.Workers,
 			OracleBatch: m.OracleBatch,
+			Curve:       m.Curve,
 			StartedAt:   m.StartedAt,
 			WallSeconds: m.WallSeconds,
 			Engine:      m.Engine,
@@ -360,6 +373,93 @@ func appendTrajectory(path string, ms []*obs.Manifest) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// loadTrajectory reads and schema-checks one perf-trajectory file.
+func loadTrajectory(path string) (*Trajectory, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	traj := &Trajectory{}
+	if err := json.Unmarshal(b, traj); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if traj.Schema != TrajectorySchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, traj.Schema, TrajectorySchema)
+	}
+	return traj, nil
+}
+
+// runSpeedup renders the wall-time ratio between two perf-trajectory files:
+// entries are grouped by (tool, config key), each group is reduced to its
+// best (minimum) wall time per file — the trajectory holds runs at several
+// worker counts and oracle settings, and the best run is what a perf change
+// is judged by — and matching groups get a base/new speedup column. Groups
+// present in only one file render with '-' so a config drift is visible
+// rather than silently dropped.
+func runSpeedup(arg string, w io.Writer, md bool) error {
+	paths := strings.Split(arg, ",")
+	if len(paths) != 2 {
+		return fmt.Errorf("-speedup wants exactly two files 'BASE.json,NEW.json', got %d", len(paths))
+	}
+	base, err := loadTrajectory(strings.TrimSpace(paths[0]))
+	if err != nil {
+		return err
+	}
+	next, err := loadTrajectory(strings.TrimSpace(paths[1]))
+	if err != nil {
+		return err
+	}
+	best := func(t *Trajectory) (map[string]float64, []string) {
+		m := map[string]float64{}
+		var order []string
+		for _, e := range t.Entries {
+			id := e.Tool + "\x00" + e.ConfigKey
+			if v, ok := m[id]; !ok || e.WallSeconds < v {
+				if !ok {
+					order = append(order, id)
+				}
+				m[id] = e.WallSeconds
+			}
+		}
+		return m, order
+	}
+	baseBest, order := best(base)
+	nextBest, nextOrder := best(next)
+	for _, id := range nextOrder {
+		if _, ok := baseBest[id]; !ok {
+			order = append(order, id)
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("-speedup: no entries in either trajectory")
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("speedup: %s -> %s (best wall time per config)", paths[0], paths[1]),
+		"tool", "config", "base s", "new s", "speedup")
+	for _, id := range order {
+		tool, key, _ := strings.Cut(id, "\x00")
+		baseS, newS, ratio := "-", "-", "-"
+		b, okB := baseBest[id]
+		n, okN := nextBest[id]
+		if okB {
+			baseS = fmt.Sprintf("%.2f", b)
+		}
+		if okN {
+			newS = fmt.Sprintf("%.2f", n)
+		}
+		if okB && okN && n > 0 {
+			ratio = fmt.Sprintf("%.2fx", b/n)
+		}
+		t.AddRow(tool, obs.ShortKey(key), baseS, newS, ratio)
+	}
+	if md {
+		fmt.Fprintln(w, t.Markdown())
+	} else {
+		fmt.Fprintln(w, t.String())
+	}
+	return nil
+}
+
 func trajID(e TrajectoryEntry) string {
-	return fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%s", e.Tool, e.ConfigKey, e.Workers, e.OracleBatch, e.StartedAt)
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%v\x00%s", e.Tool, e.ConfigKey, e.Workers, e.OracleBatch, e.Curve, e.StartedAt)
 }

@@ -194,3 +194,93 @@ func TestReportAttributionInJSON(t *testing.T) {
 		t.Errorf("TimerStall = %d, want 2", got)
 	}
 }
+
+// TestReportCurveRuns pins the curve-oracle plumbing: a manifest written by a
+// -curve run renders with the curve column set and carries the flag into the
+// perf trajectory.
+func TestReportCurveRuns(t *testing.T) {
+	dir := t.TempDir()
+	clk := obs.ManualClock{T: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+	m := obs.NewManifest("cohort-bench", clk)
+	m.ConfigKey = key
+	m.Seed = 42
+	m.Workers = 1
+	m.Curve = true
+	m.Metrics = snap(8)
+	if _, err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	traj := filepath.Join(t.TempDir(), "BENCH_curve.json")
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-bench-out", traj}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "yes") {
+		t.Errorf("curve run not marked in the report:\n%s", out.String())
+	}
+	b, err := os.ReadFile(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 1 || !tr.Entries[0].Curve {
+		t.Errorf("trajectory lost the curve flag: %+v", tr.Entries)
+	}
+}
+
+// writeTrajectory drops a trajectory file with one entry per (key, wall) pair.
+func writeTrajectory(t *testing.T, path string, entries []TrajectoryEntry) {
+	t.Helper()
+	b, err := json.Marshal(&Trajectory{Schema: TrajectorySchema, Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupComparesTrajectories(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_base.json")
+	newPath := filepath.Join(dir, "BENCH_new.json")
+	key2 := strings.Repeat("cd", 32)
+	writeTrajectory(t, basePath, []TrajectoryEntry{
+		// Two base runs of the shared config: the slower one must not dilute
+		// the ratio — speedup compares best against best.
+		{Tool: "cohort-bench", ConfigKey: key, Workers: 1, StartedAt: "2026-01-01T00:00:00Z", WallSeconds: 12},
+		{Tool: "cohort-bench", ConfigKey: key, Workers: 8, StartedAt: "2026-01-01T00:01:00Z", WallSeconds: 10},
+		{Tool: "cohort-bench", ConfigKey: key2, Workers: 1, StartedAt: "2026-01-01T00:02:00Z", WallSeconds: 3},
+	})
+	writeTrajectory(t, newPath, []TrajectoryEntry{
+		{Tool: "cohort-bench", ConfigKey: key, Workers: 1, Curve: true, StartedAt: "2026-02-01T00:00:00Z", WallSeconds: 2},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-speedup", basePath + "," + newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "5.00x") {
+		t.Errorf("expected 5.00x speedup (best 10 -> 2):\n%s", out.String())
+	}
+	// key2 exists only in the base file: rendered, with no ratio.
+	if !strings.Contains(out.String(), obs.ShortKey(key2)) {
+		t.Errorf("base-only config dropped from the comparison:\n%s", out.String())
+	}
+}
+
+func TestSpeedupRejectsBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-speedup", "only-one.json"}, &out); err == nil {
+		t.Fatal("-speedup with one file must fail")
+	}
+	if err := run([]string{"-speedup", "a.json,b.json,c.json"}, &out); err == nil {
+		t.Fatal("-speedup with three files must fail")
+	}
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if err := run([]string{"-speedup", missing + "," + missing}, &out); err == nil {
+		t.Fatal("-speedup with missing files must fail")
+	}
+}

@@ -196,10 +196,19 @@ func IsolationHits(s trace.Stream, geom config.CacheGeometry, lat config.Latenci
 // task in isolation, not of a co-runner set).
 func SaturationTimer(s trace.Stream, geom config.CacheGeometry, lat config.Latencies) (config.Timer, int64) {
 	wcl := lat.SlotWidth()
-	eval := func(th config.Timer) int64 {
+	return saturationSweep(func(th config.Timer) int64 {
 		h, _ := GuaranteedHits(s, geom, lat, th, wcl)
 		return h
-	}
+	})
+}
+
+// saturationSweep is the sweep's decision sequence, shared by every oracle
+// backend (scalar here, the hit curve in curve.go; the batched sweep in
+// batch.go replicates it over a prefilled grid): probe TimerMax for the
+// saturation reference, early-return at θ = 1, double to bracket, then
+// binary-search the smallest saturating θ in (lo, hi]. Sharing the exact
+// probe order is what makes θ_is bit-identical across backends.
+func saturationSweep(eval func(config.Timer) int64) (config.Timer, int64) {
 	maxHits := eval(config.TimerMax)
 	if maxHits == eval(1) {
 		return 1, maxHits

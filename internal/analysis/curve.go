@@ -1,0 +1,331 @@
+// Hit-curve index: the complete step function θ → (hits, misses) of the
+// in-isolation cache analysis, precomputed once per (stream, geometry,
+// latency, WCL) so that every subsequent query for any θ is an O(log k)
+// binary search over k segments instead of a full stream walk.
+//
+// Construction is an exact segment sweep, not a breakpoint sort. A single
+// replay at a fixed θ yields more than its own split: every branch the
+// replay takes stays identical for any θ' ≥ θ up to the first access whose
+// classification can change, and the smallest such θ' is directly readable
+// off the replay — it is the minimum "flip age" now − fetchedAt over the
+// window misses whose kind condition holds (a read, or a write finding a
+// Modified copy). No per-access monotonicity is assumed — none holds: the
+// isolation clock advances by lat.Hit on hits and by wcl on misses, so
+// enlarging θ can turn a later access from hit to miss (DESIGN.md §17 gives
+// a concrete counterexample). What does hold is regime constancy: for every
+// integer θ' in [θ, nextBreak−1] the entire replay — every lookup, every
+// window test, every victim choice — is access-for-access identical to the
+// replay at θ, because cache content and recency evolve θ-independently and
+// the classification tests decide the same way on both sides. The sweep
+// therefore replays at θ = 1, jumps to nextBreak, and repeats until no
+// window miss can flip within the timer domain; adjacent segments with
+// equal splits are merged.
+//
+// After construction the curve is verified against the SoA BatchAnalyzer:
+// every segment-start θ is re-evaluated through GuaranteedHitsBatch and any
+// mismatch panics — the batched kernel's role in the two-tier oracle is to
+// certify curve construction, not to serve queries. The seeded-fault hook
+// TestHooks.CurveBreakpointSkew shifts segment boundaries *after* that
+// verification, so downstream differential suites must catch the resulting
+// wrong answers themselves (fail-closed proof for the query path).
+package analysis
+
+import (
+	"fmt"
+
+	"cohort/internal/cache"
+	"cohort/internal/config"
+	"cohort/internal/trace"
+)
+
+// TestHooks holds seeded-fault injection points for the analysis package.
+// All fields are zero in production; tests set them to prove the
+// differential harnesses fail closed.
+var TestHooks struct {
+	// CurveBreakpointSkew shifts every interior segment boundary of newly
+	// built hit curves by the given amount, after construction verification
+	// has passed. Queries landing in a skewed boundary zone return the
+	// neighboring segment's split — silently wrong, exactly what the
+	// equivalence suites must detect.
+	CurveBreakpointSkew config.Timer
+}
+
+// curveMaxSweeps caps the number of replays one curve construction may
+// perform. Streams whose step function has more regimes than this yield an
+// incomplete curve: queries below the sweep frontier are served exactly from
+// the index, queries at or above it fall back to the scalar analysis. The
+// cap is a variable so tests can force the incomplete path; the timer domain
+// bounds the true regime count at config.TimerMax.
+var curveMaxSweeps = 4096
+
+// HitCurve is the precomputed step function θ → (hits, misses) of
+// GuaranteedHits for one stream under a fixed geometry, latency set and
+// per-miss cost. Build one with NewHitCurve; the zero value is not usable.
+// A curve is immutable after construction and safe for concurrent readers.
+type HitCurve struct {
+	// Segment k covers θ ∈ [starts[k], starts[k+1]−1] (the last segment
+	// extends to the sweep frontier, or config.TimerMax when complete).
+	// starts[0] is always 1.
+	starts []config.Timer
+	hits   []int64
+	misses []int64
+
+	// complete reports whether the sweep covered the full timer domain;
+	// when false, tailStart is the first θ the index cannot answer.
+	complete  bool
+	tailStart config.Timer
+
+	// Inputs retained for the scalar fallback of Eval.
+	s    trace.Stream
+	geom config.CacheGeometry
+	lat  config.Latencies
+	wcl  int64
+}
+
+// curveBuilder holds the single-column replay state reused across the
+// sweep's replays: one cache array in the BatchAnalyzer entry layout, grown
+// once and re-zeroed per replay.
+type curveBuilder struct {
+	lineShift uint
+	setMask   uint64
+	ways      int
+	ents      []batchEntry
+}
+
+func newCurveBuilder(geom config.CacheGeometry) *curveBuilder {
+	// Reuse the batch analyzer's geometry validation and decomposition.
+	b := NewBatchAnalyzer(geom)
+	return &curveBuilder{
+		lineShift: b.lineShift,
+		setMask:   b.setMask,
+		ways:      b.ways,
+		ents:      make([]batchEntry, b.sets*b.ways),
+	}
+}
+
+// replay runs one in-isolation replay at θ — the same branch sequence as
+// GuaranteedHits — and additionally extracts nextBreak, the smallest θ' > θ
+// at which this replay's classification can first differ: the minimum
+// now − fetchedAt over window misses whose kind condition holds and whose
+// age is within the timer domain. nextBreak = 0 means no θ' ≤ TimerMax can
+// change anything — the current regime extends to the end of the domain.
+func (cb *curveBuilder) replay(s trace.Stream, latHit, wcl int64, theta config.Timer) (hits, misses int64, nextBreak config.Timer) {
+	clear(cb.ents)
+	ways := cb.ways
+	ents := cb.ents
+	window := int64(theta)
+	now := int64(0)
+	next := int64(config.TimerMax) + 1
+	useClock := uint64(0)
+	for ai := range s {
+		a := &s[ai]
+		line := a.Addr >> cb.lineShift
+		row := int(line&cb.setMask) * ways
+		isRead := a.Kind == trace.Read
+		now += a.Gap
+		hit := -1
+		for w := 0; w < ways; w++ {
+			e := &ents[row+w]
+			if e.state != cache.Invalid && e.lineAddr == line {
+				hit = w
+				break
+			}
+		}
+		if hit >= 0 {
+			e := &ents[row+hit]
+			if now <= e.fetchedAt+window && (isRead || e.state == cache.Modified) {
+				hits++
+				now += latHit
+				useClock++
+				e.lastUse = useClock
+				continue
+			}
+			if isRead || e.state == cache.Modified {
+				// A pure window miss: θ' ≥ now − fetchedAt would classify
+				// this access a hit (the kind condition already holds), so
+				// its age is a candidate breakpoint.
+				if age := now - e.fetchedAt; age <= int64(config.TimerMax) && age < next {
+					next = age
+				}
+			}
+			// Present but outside the window (or an upgrade): re-fill in
+			// place with a fresh window.
+			misses++
+			now += wcl
+			st := cache.Shared
+			if !isRead {
+				st = cache.Modified
+			}
+			e.lineAddr = line
+			e.state = st
+			e.fetchedAt = now
+			useClock++
+			e.lastUse = useClock
+			continue
+		}
+		// Cold or capacity miss: first invalid way, else strict-LRU with the
+		// lowest way winning ties — exactly cache.VictimFor with no pinning.
+		misses++
+		now += wcl
+		victim := -1
+		for w := 0; w < ways; w++ {
+			e := &ents[row+w]
+			if e.state == cache.Invalid {
+				victim = w
+				break
+			}
+			if victim == -1 || e.lastUse < ents[row+victim].lastUse {
+				victim = w
+			}
+		}
+		e := &ents[row+victim]
+		st := cache.Shared
+		if !isRead {
+			st = cache.Modified
+		}
+		e.lineAddr = line
+		e.state = st
+		e.fetchedAt = now
+		useClock++
+		e.lastUse = useClock
+	}
+	if next > int64(config.TimerMax) {
+		return hits, misses, 0
+	}
+	return hits, misses, config.Timer(next)
+}
+
+// NewHitCurve builds the complete (or capped) hit curve for one stream: the
+// exact step function θ → GuaranteedHits(s, geom, lat, θ, wcl) over the
+// timed domain θ ∈ [1, config.TimerMax]. Construction is verified against
+// the batched SoA kernel before the curve is returned.
+func NewHitCurve(s trace.Stream, geom config.CacheGeometry, lat config.Latencies, wcl int64) *HitCurve {
+	if wcl <= 0 {
+		// Same guard, same message as the scalar kernel.
+		panic(fmt.Sprintf("analysis: non-positive WCL %d", wcl))
+	}
+	hc := &HitCurve{complete: true, s: s, geom: geom, lat: lat, wcl: wcl}
+	cb := newCurveBuilder(geom)
+	theta := config.Timer(1)
+	for sweep := 0; ; sweep++ {
+		if sweep >= curveMaxSweeps {
+			hc.complete = false
+			hc.tailStart = theta
+			break
+		}
+		h, m, next := cb.replay(s, lat.Hit, wcl, theta)
+		if k := len(hc.starts); k == 0 || hc.hits[k-1] != h || hc.misses[k-1] != m {
+			hc.starts = append(hc.starts, theta)
+			hc.hits = append(hc.hits, h)
+			hc.misses = append(hc.misses, m)
+		}
+		if next == 0 {
+			break
+		}
+		theta = next
+	}
+	hc.verify()
+	if sk := TestHooks.CurveBreakpointSkew; sk != 0 {
+		// Seeded fault: shift interior boundaries after verification so the
+		// construction check passes but boundary-zone queries are wrong.
+		for i := 1; i < len(hc.starts); i++ {
+			hc.starts[i] += sk
+		}
+	}
+	return hc
+}
+
+// NewIsolationHitCurve builds the curve for IsolationHits semantics: misses
+// priced at one uncontended slot (SW), the form the optimizer's oracle
+// queries.
+func NewIsolationHitCurve(s trace.Stream, geom config.CacheGeometry, lat config.Latencies) *HitCurve {
+	return NewHitCurve(s, geom, lat, lat.SlotWidth())
+}
+
+// verify re-evaluates every segment start through the batched SoA kernel
+// and panics on any mismatch. Mid-segment values are covered by the regime-
+// constancy argument (DESIGN.md §17); the segment starts are exactly the
+// points where construction could have gone wrong.
+func (c *HitCurve) verify() {
+	if len(c.starts) == 0 {
+		return
+	}
+	b := NewBatchAnalyzer(c.geom)
+	const chunk = 64
+	hits := make([]int64, chunk)
+	misses := make([]int64, chunk)
+	for i := 0; i < len(c.starts); i += chunk {
+		j := min(i+chunk, len(c.starts))
+		thetas := c.starts[i:j]
+		b.GuaranteedHitsBatch(c.s, c.lat, thetas, c.wcl, hits[:len(thetas)], misses[:len(thetas)])
+		for k := range thetas {
+			if hits[k] != c.hits[i+k] || misses[k] != c.misses[i+k] {
+				panic(fmt.Sprintf("analysis: hit-curve verification failed at θ=%d: curve (%d,%d) vs batch (%d,%d)",
+					thetas[k], c.hits[i+k], c.misses[i+k], hits[k], misses[k]))
+			}
+		}
+	}
+}
+
+// Complete reports whether the curve covers the full timer domain.
+func (c *HitCurve) Complete() bool { return c.complete }
+
+// Segments returns the number of distinct regimes the curve indexes.
+func (c *HitCurve) Segments() int { return len(c.starts) }
+
+// TailStart returns the first θ an incomplete curve cannot answer (0 when
+// the curve is complete).
+func (c *HitCurve) TailStart() config.Timer {
+	if c.complete {
+		return 0
+	}
+	return c.tailStart
+}
+
+// Lookup answers the guaranteed hit/miss split for θ from the index alone.
+// ok is false when the curve is incomplete and θ lies at or beyond the
+// sweep frontier (or outside the timer domain); callers then fall back to
+// the scalar analysis (Eval does so automatically). The query is a binary
+// search over the segment starts and performs no allocation.
+//
+//cohort:hotpath
+func (c *HitCurve) Lookup(theta config.Timer) (hits, misses int64, ok bool) {
+	if !theta.Timed() {
+		return 0, int64(len(c.s)), true
+	}
+	if theta > config.TimerMax || (!c.complete && theta >= c.tailStart) {
+		return 0, 0, false
+	}
+	// Largest segment index with starts[i] ≤ θ; starts[0] = 1 ≤ θ always.
+	lo, hi := 0, len(c.starts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.starts[mid] <= theta {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo - 1
+	return c.hits[i], c.misses[i], true
+}
+
+// Eval answers the split for any θ: from the index when covered, otherwise
+// by the exact scalar analysis over the retained inputs.
+func (c *HitCurve) Eval(theta config.Timer) (hits, misses int64) {
+	if h, m, ok := c.Lookup(theta); ok {
+		return h, m
+	}
+	return GuaranteedHits(c.s, c.geom, c.lat, theta, c.wcl)
+}
+
+// SaturationTimer computes θ_is and the saturation hit count from the
+// curve, replicating the package-level SaturationTimer's doubling-grid +
+// binary-search decision sequence exactly — every probe is answered by Eval
+// instead of a stream walk, so the result is bit-identical.
+func (c *HitCurve) SaturationTimer() (config.Timer, int64) {
+	return saturationSweep(func(th config.Timer) int64 {
+		h, _ := c.Eval(th)
+		return h
+	})
+}

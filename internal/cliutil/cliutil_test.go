@@ -46,13 +46,19 @@ func TestFlagMatrix(t *testing.T) {
 			tool: "cohort-bench",
 			reg:  groups{work: true, obs: true, profile: true},
 			args: []string{"-j", "4", "-batch", "8", "-log-level", "debug", "-log-json", "-memprofile", "mem.out"},
-			want: Common{Jobs: 4, Batch: 8, LogLevel: "debug", LogJSON: true, MemProfile: "mem.out"},
+			want: Common{Jobs: 4, Batch: 8, Curve: true, LogLevel: "debug", LogJSON: true, MemProfile: "mem.out"},
 		},
 		{
 			tool: "cohort-opt",
 			reg:  groups{work: true, obs: true, profile: true},
-			args: nil, // defaults only
-			want: Common{LogLevel: "info"},
+			args: nil, // defaults only: curve oracle on, surrogate off
+			want: Common{Curve: true, LogLevel: "info"},
+		},
+		{
+			tool: "cohort-opt",
+			reg:  groups{work: true, obs: true, profile: true},
+			args: []string{"-curve=false", "-surrogate"},
+			want: Common{Curve: false, Surrogate: true, LogLevel: "info"},
 		},
 	}
 	for _, tc := range cases {

@@ -97,6 +97,7 @@ type Manifest struct {
 	Seed        int64              `json:"seed"`
 	Workers     int                `json:"workers"`
 	OracleBatch int                `json:"oracle_batch,omitempty"`
+	Curve       bool               `json:"curve,omitempty"`
 	StartedAt   string             `json:"started_at"`
 	WallSeconds float64            `json:"wall_seconds"`
 	Host        *HostInfo          `json:"host,omitempty"`

@@ -90,13 +90,21 @@ func TestEvaluatorCoreMemoDeterministic(t *testing.T) {
 		misses   int64
 		memo     []map[config.Timer][2]int64
 	}
-	run := func(workers, oracleBatch int) snapshot {
-		e := newEvaluator(p, workers, oracleBatch, nil)
+	run := func(workers, oracleBatch int, curve bool) snapshot {
+		e := newEvaluator(p, workers, oracleBatch, curve, false, nil)
+		if curve {
+			// Force eager installation: this harness pins the curve-served
+			// path itself, not the amortization gate (tested separately).
+			if e.curves == nil {
+				e.installCurves()
+			}
+			thetaISCurve(p, e)
+		}
 		var evals [][]Evaluation
 		for _, seq := range sequences {
 			evals = append(evals, e.batch(seq))
 		}
-		st := e.cache.Stats()
+		st := e.engineStats()
 		return snapshot{
 			evals:    evals,
 			computed: e.computed,
@@ -106,11 +114,11 @@ func TestEvaluatorCoreMemoDeterministic(t *testing.T) {
 			memo:     e.coreMemo,
 		}
 	}
-	ref := run(1, 2)
+	ref := run(1, 2, false)
 	if len(ref.memo) == 0 || len(ref.memo[0]) == 0 {
 		t.Fatal("batched reference evaluator built no per-core memo")
 	}
-	scalar := run(1, 0)
+	scalar := run(1, 0, false)
 	if !reflect.DeepEqual(ref.evals, scalar.evals) {
 		t.Fatal("batched and scalar evaluations differ")
 	}
@@ -122,7 +130,7 @@ func TestEvaluatorCoreMemoDeterministic(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4, 8} {
 		for _, ob := range []int{2, 3, 7, 64} {
-			got := run(workers, ob)
+			got := run(workers, ob, false)
 			if !reflect.DeepEqual(got.evals, ref.evals) {
 				t.Fatalf("workers %d batch %d: evaluations differ", workers, ob)
 			}
@@ -133,6 +141,24 @@ func TestEvaluatorCoreMemoDeterministic(t *testing.T) {
 			if !reflect.DeepEqual(got.memo, ref.memo) {
 				t.Fatalf("workers %d batch %d: per-core memo content differs", workers, ob)
 			}
+		}
+	}
+	// The curve oracle reads the index directly — no per-core memo — but
+	// every value it serves is an exact IsolationHits split, so evaluations
+	// and every counter must still be identical. Cold curve cache first, warm
+	// afterwards.
+	ResetCurveCache()
+	for _, workers := range []int{1, 4, 8} {
+		got := run(workers, 0, true)
+		if !reflect.DeepEqual(got.evals, ref.evals) {
+			t.Fatalf("curve workers %d: evaluations differ", workers)
+		}
+		if got.computed != ref.computed || got.jobs != ref.jobs ||
+			got.hits != ref.hits || got.misses != ref.misses {
+			t.Fatalf("curve workers %d: counters differ", workers)
+		}
+		if got.memo != nil {
+			t.Fatalf("curve workers %d: curve oracle built a per-core memo", workers)
 		}
 	}
 }

@@ -27,6 +27,11 @@ type HCConfig struct {
 	// many columns; 0 and 1 keep the scalar oracle. The Result is
 	// byte-identical for every value.
 	OracleBatch int
+	// OracleCurve selects the hit-curve oracle, with the same semantics as
+	// GAConfig.OracleCurve: per-core hit curves answer every (core, θ) query
+	// in O(log k), taking precedence over OracleBatch. The Result is
+	// byte-identical for every oracle.
+	OracleCurve bool
 	// Progress, when non-nil, receives live pull-sampled progress with the
 	// same semantics as GAConfig.Progress; restarts are reported as
 	// generations. Purely observational.
@@ -69,11 +74,14 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 		res.Evaluations = 1
 		return res, nil
 	}
-	oracle := newEvaluator(p, hc.Workers, hc.OracleBatch, hc.Progress)
+	oracle := newEvaluator(p, hc.Workers, hc.OracleBatch, hc.OracleCurve, false, hc.Progress)
 	hc.Progress.SetGenerations(int64(hc.Restarts))
-	if hc.OracleBatch > 1 {
+	switch {
+	case oracle.curves != nil:
+		res.ThetaIS = thetaISCurve(p, oracle)
+	case hc.OracleBatch > 1:
 		res.ThetaIS = thetaISBatched(p, hc.Workers, oracle)
-	} else {
+	default:
 		res.ThetaIS = thetaIS(p, hc.Workers)
 	}
 
@@ -151,6 +159,6 @@ func HillClimb(p *Problem, hc HCConfig) (*Result, error) {
 	res.Timers = p.Timers(bestGenes)
 	res.Eval = bestEval
 	res.Evaluations = oracle.computed
-	res.Engine = oracle.cache.Stats()
+	res.Engine = oracle.engineStats()
 	return res, nil
 }

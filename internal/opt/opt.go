@@ -17,6 +17,7 @@
 package opt
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"strconv"
@@ -171,20 +172,30 @@ func (p *Problem) compile() *compiled {
 }
 
 func (c *compiled) evaluate(timers []config.Timer) Evaluation {
-	return c.evaluateSrc(timers, nil)
+	return c.evaluateSrc(timers, nil, nil)
 }
 
 // evaluateSrc is evaluate with a pluggable isolation-analysis source: when
-// memo is non-nil, timed cores' (MHit, MMiss) splits are read from
-// memo[core][θ] instead of running analysis.IsolationHits. Everything else —
-// the WCL hoist, the float summation order, the constraint handling — is the
-// shared code path, so a memoized evaluation is bit-identical to a scalar
-// one whenever the memo holds true IsolationHits results.
-func (c *compiled) evaluateSrc(timers []config.Timer, memo []map[config.Timer][2]int64) Evaluation {
+// curves is non-nil, timed cores' (MHit, MMiss) splits are answered by the
+// per-core hit-curve index; otherwise, when memo is non-nil, they are read
+// from memo[core][θ]; otherwise analysis.IsolationHits runs per core.
+// Everything else — the WCL hoist, the float summation order, the constraint
+// handling — is the shared code path, so a memoized or curve-served
+// evaluation is bit-identical to a scalar one whenever the source serves
+// true IsolationHits results.
+func (c *compiled) evaluateSrc(timers []config.Timer, memo []map[config.Timer][2]int64, curves []*analysis.HitCurve) Evaluation {
+	return c.evaluateSrcOwned(append([]config.Timer(nil), timers...), memo, curves)
+}
+
+// evaluateSrcOwned is evaluateSrc taking ownership of timers: the slice is
+// stored in the returned Evaluation without a defensive copy, so callers
+// must never mutate it afterwards. The evaluator's batch path qualifies —
+// every job's vector is freshly materialized and dropped after evaluation.
+func (c *compiled) evaluateSrcOwned(timers []config.Timer, memo []map[config.Timer][2]int64, curves []*analysis.HitCurve) Evaluation {
 	p := c.p
 	n := len(p.Streams)
 	ev := Evaluation{
-		Timers:  append([]config.Timer(nil), timers...),
+		Timers:  timers,
 		PerCore: make([]analysis.CoreBound, n),
 	}
 	// Timer-dependent part of every core's WCL, computed once per vector.
@@ -202,7 +213,11 @@ func (c *compiled) evaluateSrc(timers []config.Timer, memo []map[config.Timer][2
 		}
 		lambda := c.lambdas[i]
 		if timers[i].Timed() {
-			if memo != nil {
+			if curves != nil {
+				// Curve oracle: O(log k) exact query (with the scalar fallback
+				// beyond an incomplete curve's frontier).
+				b.MHit, b.MMiss = curves[i].Eval(timers[i])
+			} else if memo != nil {
 				hm, ok := memo[i][timers[i]]
 				if !ok {
 					panic(fmt.Sprintf("opt: batched oracle missing core %d θ=%d", i, timers[i]))
@@ -264,15 +279,49 @@ func fitness(ev *Evaluation) float64 {
 // stream walks into (distinct (core, θ) pairs ÷ batch width) walks. The
 // genome-level memo-cache, its key, and every counter are untouched:
 // results are bit-identical to the scalar oracle for every batch width.
+//
+// With curve set, the hit-curve oracle replaces the batched one (taking
+// precedence over oracleBatch) once its indexes are installed: one
+// analysis.HitCurve per timed core — served from a process-wide
+// content-addressed cache, so repeated runs over the same streams skip
+// construction entirely — answers every (core, θ) pair with an O(log k)
+// query instead of a stream walk, directly in the evaluation assembly — no
+// per-core memo, no prefill pass. Installation is amortization-gated:
+// eager when the curves are already cached (a fetch, not a build) or when
+// the surrogate needs them, otherwise deferred until the run has brought
+// curveBuildBudget fresh genomes — cold short runs never pay construction
+// and keep serving from the batched or scalar oracle. Every source is
+// exact and the genome cache and all counters behave identically, so
+// Results stay bit-identical wherever the switch lands.
 type evaluator struct {
 	p           *Problem
 	c           *compiled
 	workers     int
 	oracleBatch int
-	cache       *parallel.Cache[Evaluation]
+	curve       bool
+	// evalCache is the genome-level memo (keyed by the raw genome key of the
+	// gene vector). Every probe and store happens on the coordinator
+	// goroutine, so a plain map with explicit counters stands in for
+	// parallel.Cache with identical counter semantics — and lets the probe
+	// reuse keyBuf without materializing a key string per genome.
+	evalCache              map[string]Evaluation
+	cacheHits, cacheMisses int64
+	// keyBuf is the reusable genome-key scratch buffer; only the coordinator
+	// touches it.
+	keyBuf []byte
+	// surrTimers is surrogateFitness's scratch timer vector, reused across
+	// children (tier 2 runs on the coordinator too).
+	surrTimers []config.Timer
+	// curves[i] is timed core i's hit-curve index (nil for untimed cores).
+	// The slice itself is nil until installCurves runs — eagerly from
+	// newEvaluator for warm or surrogate runs, or mid-run once the fresh-
+	// genome count crosses curveBuildBudget.
+	curves []*analysis.HitCurve
 	// coreMemo[i][θ] is core i's memoized IsolationHits split (hits, misses).
 	// Lookup-only maps (never ranged), populated in deterministic submission
-	// order by prefill and the batched saturation sweep. Nil in scalar mode.
+	// order by prefill and the batched saturation sweep. Nil outside batched
+	// mode — scalar mode runs the analysis per genome, curve mode reads the
+	// index directly.
 	coreMemo []map[config.Timer][2]int64
 	// computed counts oracle evaluations actually performed (cache misses
 	// deduped within each batch).
@@ -283,22 +332,36 @@ type evaluator struct {
 	progress *obs.RunHandle
 }
 
-func newEvaluator(p *Problem, workers, oracleBatch int, progress *obs.RunHandle) *evaluator {
+func newEvaluator(p *Problem, workers, oracleBatch int, curve, surrogate bool, progress *obs.RunHandle) *evaluator {
 	e := &evaluator{
 		p:           p,
 		c:           p.compile(),
 		workers:     workers,
 		oracleBatch: oracleBatch,
-		cache:       parallel.NewCache[Evaluation](),
+		curve:       curve,
+		evalCache:   make(map[string]Evaluation, 256),
 		progress:    progress,
 	}
-	if oracleBatch > 1 {
+	if e.curve && (surrogate || curveBuildBudget <= 0 || curvesWarm(p)) {
+		e.installCurves()
+	}
+	if e.oracleBatch > 1 && e.curves == nil {
 		e.coreMemo = make([]map[config.Timer][2]int64, len(p.Streams))
 		for i := range e.coreMemo {
-			e.coreMemo[i] = make(map[config.Timer][2]int64)
+			e.coreMemo[i] = make(map[config.Timer][2]int64, 256)
 		}
 	}
 	return e
+}
+
+// engineStats reports the genome-cache probe counters in the same shape as
+// parallel.Cache.Stats: every probe is a job, split into hits and misses.
+func (e *evaluator) engineStats() stats.EngineStats {
+	return stats.EngineStats{
+		Jobs:        e.cacheHits + e.cacheMisses,
+		CacheHits:   e.cacheHits,
+		CacheMisses: e.cacheMisses,
+	}
 }
 
 // oracleUnit is one batched-analysis job: a contiguous chunk of fresh timers
@@ -364,16 +427,30 @@ func (e *evaluator) prefill(genomes [][]config.Timer) {
 	e.progress.AddLanes(int64(len(units)))
 }
 
-// genomeKey builds the memo-cache key of a full timer vector. The problem is
-// fixed for the lifetime of the evaluator, so the vector alone addresses the
-// evaluation.
+// genomeKey builds the memo-cache key of a timer vector (the evaluator keys
+// on the gene vector — the untimed cores are fixed for the run, so genes
+// alone address the evaluation). The key is a raw injective byte string —
+// the domain prefix followed by each timer as a fixed-width little-endian
+// word — rather than a digest: the keys live only in the evaluator's private
+// cache, so collision resistance buys nothing and hashing is pure overhead
+// on the hot path. Fixed-width words keep distinct vectors distinct, and the
+// overall length separates a vector from its prefixes.
 func genomeKey(timers []config.Timer) string {
-	k := parallel.NewKey("opt/eval")
-	for _, th := range timers {
-		k.Int64(int64(th))
-	}
-	return k.Sum()
+	return string(appendGenomeKey(make([]byte, 0, len(genomeKeyDomain)+4*len(timers)), timers))
 }
+
+// appendGenomeKey appends the genome key of timers to buf and returns the
+// extended buffer — the allocation-free core of genomeKey, fed by the
+// evaluator's reusable scratch buffer.
+func appendGenomeKey(buf []byte, timers []config.Timer) []byte {
+	buf = append(buf, genomeKeyDomain...)
+	for _, th := range timers {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(th))
+	}
+	return buf
+}
+
+const genomeKeyDomain = "opt/eval"
 
 // batch evaluates one chromosome batch and returns the evaluations in
 // submission order. Every cache probe happens here, on the calling
@@ -390,40 +467,61 @@ func (e *evaluator) batch(genomes [][]config.Timer) []Evaluation {
 	var cached int64
 	queued := make(map[string]int, len(genomes))
 	for i, g := range genomes {
-		timers := e.p.Timers(g)
-		key := genomeKey(timers)
-		if v, ok := e.cache.Get(key); ok {
+		// Probe with the scratch buffer; map access through string(buf) does
+		// not allocate, so only fresh genomes materialize a key string. The
+		// timer vector is materialized lazily too — cache hits skip it.
+		e.keyBuf = appendGenomeKey(e.keyBuf[:0], g)
+		if v, ok := e.evalCache[string(e.keyBuf)]; ok {
 			out[i], slot[i] = v, -1
+			e.cacheHits++
 			cached++
 			continue
 		}
-		if j, ok := queued[key]; ok {
+		e.cacheMisses++
+		if j, ok := queued[string(e.keyBuf)]; ok {
 			slot[i] = j
 			continue
 		}
+		key := string(e.keyBuf)
 		queued[key] = len(jobs)
 		slot[i] = len(jobs)
-		jobs = append(jobs, timers)
+		jobs = append(jobs, e.p.Timers(g))
 		jobKeys = append(jobKeys, key)
 	}
+	// Deferred curve installation: once the run has brought enough fresh
+	// genomes to amortize construction, build the indexes and serve every
+	// later batch from them. Exact either way, so the switch point is
+	// invisible in the results.
+	if e.curve && e.curves == nil && e.cacheMisses >= curveBuildBudget {
+		e.installCurves()
+	}
 	var results []Evaluation
-	if e.oracleBatch > 1 {
-		// Batched oracle: run the stream analysis for all fresh (core, θ)
-		// pairs first, then assemble the evaluations serially from the memo.
-		// The assembly is pure integer/float arithmetic in the same per-core
-		// order as the scalar path, so the results are bit-identical.
+	switch {
+	case e.curves != nil:
+		// Curve oracle: every (core, θ) query is an O(log k) index lookup, so
+		// the assembly runs serially with no prefill pass. Same per-core order
+		// and arithmetic as the scalar path — results are bit-identical.
+		results = make([]Evaluation, len(jobs))
+		for j := range jobs {
+			results[j] = e.c.evaluateSrcOwned(jobs[j], nil, e.curves)
+		}
+	case e.oracleBatch > 1:
+		// Batched oracle: resolve all fresh (core, θ) pairs first, then
+		// assemble the evaluations serially from the memo. The assembly is
+		// pure integer/float arithmetic in the same per-core order as the
+		// scalar path, so the results are bit-identical.
 		e.prefill(jobs)
 		results = make([]Evaluation, len(jobs))
 		for j := range jobs {
-			results[j] = e.c.evaluateSrc(jobs[j], e.coreMemo)
+			results[j] = e.c.evaluateSrcOwned(jobs[j], e.coreMemo, nil)
 		}
-	} else {
+	default:
 		results = parallel.Map(e.workers, len(jobs), func(j int) Evaluation {
-			return e.c.evaluate(jobs[j])
+			return e.c.evaluateSrcOwned(jobs[j], nil, nil)
 		})
 	}
 	for j := range jobKeys {
-		e.cache.Put(jobKeys[j], results[j])
+		e.evalCache[jobKeys[j]] = results[j]
 	}
 	e.computed += len(jobs)
 	e.progress.AddMemoHits(cached)
@@ -527,6 +625,27 @@ type GAConfig struct {
 	// one full analysis pass per core per distinct genome. The Result is
 	// byte-identical for every value; only the oracle's cost changes.
 	OracleBatch int
+	// OracleCurve selects the hit-curve oracle (tier 1): one
+	// analysis.HitCurve per timed core answers every (core, θ) query with a
+	// binary search instead of a stream walk, and θ_is is read off the curve
+	// through the shared saturation sweep. Takes precedence over OracleBatch.
+	// The Result is byte-identical to the scalar and batched oracles; only
+	// the cost changes.
+	OracleCurve bool
+	// Surrogate enables the tier-2 surrogate prefilter: each generation's
+	// children are scored by a cheap curve-bound fitness first, and only
+	// those within SurrogateMargin of the elite frontier are evaluated
+	// exactly. Elites and the reported best are always exact; pruned
+	// children keep their surrogate fitness for selection only. Requires
+	// OracleCurve. Unlike the exact oracles this changes Result counters
+	// (fewer Evaluations), so it participates in result cache keys.
+	Surrogate bool
+	// SurrogateMargin is the relative margin around the elite frontier
+	// within which children are still evaluated exactly: a child is pruned
+	// only when its surrogate fitness exceeds frontier·(1+margin). 0 selects
+	// DefaultSurrogateMargin; negative values collapse the margin to 0
+	// (prune everything above the frontier).
+	SurrogateMargin float64
 	// Metrics, when non-nil, receives the optimizer's end-of-run counters
 	// (runs, evaluations, memo-engine totals, best fitness). Purely
 	// observational: it never affects the Result. The experiment harness
@@ -600,6 +719,9 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 	if gc.Elite >= gc.Pop {
 		return nil, fmt.Errorf("opt: elite %d must be below population %d", gc.Elite, gc.Pop)
 	}
+	if gc.Surrogate && !gc.OracleCurve {
+		return nil, fmt.Errorf("opt: surrogate prefilter requires the curve oracle")
+	}
 	nGenes := p.numGenes()
 	res := &Result{}
 	if nGenes == 0 {
@@ -612,14 +734,20 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 		return res, nil
 	}
 
-	oracle := newEvaluator(p, gc.Workers, gc.OracleBatch, gc.Progress)
+	oracle := newEvaluator(p, gc.Workers, gc.OracleBatch, gc.OracleCurve, gc.Surrogate, gc.Progress)
 	gc.Progress.SetGenerations(int64(gc.Generations))
 
-	// Per-gene upper bounds: θ_is from the saturation sweep (§V). The
-	// batched sweep also seeds the oracle's per-core memo from its samples.
-	if gc.OracleBatch > 1 {
+	// Per-gene upper bounds: θ_is from the saturation sweep (§V). An
+	// eagerly-installed curve oracle reads the sweep off the per-core
+	// index; a deferred one sweeps like its fallback (bit-identical) and
+	// leaves construction to the amortization gate in batch. The batched
+	// sweep seeds the oracle's per-core memo from its samples.
+	switch {
+	case oracle.curves != nil:
+		res.ThetaIS = thetaISCurve(p, oracle)
+	case gc.OracleBatch > 1:
 		res.ThetaIS = thetaISBatched(p, gc.Workers, oracle)
-	} else {
+	default:
 		res.ThetaIS = thetaIS(p, gc.Workers)
 	}
 
@@ -643,14 +771,25 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 		genes []config.Timer
 		ev    Evaluation
 		fit   float64
+		// exact marks fitness values computed by the exact oracle; surrogate-
+		// pruned children carry their tier-2 bound instead and may influence
+		// selection, but never the elites, the best, or the Result.
+		exact bool
 	}
 	evalAll := func(genomes [][]config.Timer) []indiv {
 		evs := oracle.batch(genomes)
 		out := make([]indiv, len(genomes))
 		for i := range genomes {
-			out[i] = indiv{genes: genomes[i], ev: evs[i], fit: fitness(&evs[i])}
+			out[i] = indiv{genes: genomes[i], ev: evs[i], fit: fitness(&evs[i]), exact: true}
 		}
 		return out
+	}
+	margin := gc.SurrogateMargin
+	switch {
+	case margin == 0:
+		margin = DefaultSurrogateMargin
+	case margin < 0:
+		margin = 0
 	}
 
 	genomes := make([][]config.Timer, gc.Pop)
@@ -672,7 +811,7 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 
 	best := pop[0]
 	for i := range pop {
-		if pop[i].fit < best.fit {
+		if pop[i].exact && pop[i].fit < best.fit {
 			best = pop[i]
 		}
 	}
@@ -744,10 +883,47 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 			}
 			children = append(children, child)
 		}
-		next = append(next, evalAll(children)...)
+		if gc.Surrogate && len(children) > 0 {
+			// Tier 2: score every child with the curve-bound surrogate and
+			// evaluate exactly only those within the margin of the elite
+			// frontier (the worst kept elite; the global best when Elite is
+			// 0). The surrogate never exceeds the exact fitness, so a pruned
+			// child provably cannot reach the frontier — let alone improve
+			// the best — and elites can never be pruned individuals: their
+			// fitness exceeds a past frontier, while elites sit at or below
+			// every frontier since.
+			frontier := best.fit
+			if gc.Elite > 0 {
+				frontier = next[len(next)-1].fit
+			}
+			threshold := frontier * (1 + margin)
+			surrFits := make([]float64, len(children))
+			keep := make([]int, 0, len(children))
+			for ci, child := range children {
+				surrFits[ci] = oracle.surrogateFitness(child)
+				if surrFits[ci] <= threshold {
+					keep = append(keep, ci)
+				}
+			}
+			exactGenomes := make([][]config.Timer, len(keep))
+			for k, ci := range keep {
+				exactGenomes[k] = children[ci]
+			}
+			evaluated := evalAll(exactGenomes)
+			childIndivs := make([]indiv, len(children))
+			for ci := range children {
+				childIndivs[ci] = indiv{genes: children[ci], fit: surrFits[ci]}
+			}
+			for k, ci := range keep {
+				childIndivs[ci] = evaluated[k]
+			}
+			next = append(next, childIndivs...)
+		} else {
+			next = append(next, evalAll(children)...)
+		}
 		pop = next
 		for i := range pop {
-			if pop[i].fit < best.fit {
+			if pop[i].exact && pop[i].fit < best.fit {
 				best = pop[i]
 			}
 		}
@@ -765,7 +941,7 @@ func Optimize(p *Problem, gc GAConfig) (*Result, error) {
 	res.Timers = p.Timers(best.genes)
 	res.Eval = best.ev
 	res.Evaluations = oracle.computed
-	res.Engine = oracle.cache.Stats()
+	res.Engine = oracle.engineStats()
 	publishMetrics(gc.Metrics, res)
 	return res, nil
 }

@@ -51,6 +51,19 @@ func (c *Cache[V]) Put(key string, v V) {
 	c.m[key] = v
 }
 
+// GetOrCompute returns the cached value for key, computing and storing it
+// on a miss. compute runs outside the cache lock, so concurrent callers may
+// compute the same key redundantly; purity makes the race harmless — both
+// store identical values (see Put). The probe is counted exactly once.
+func (c *Cache[V]) GetOrCompute(key string, compute func() V) V {
+	if v, ok := c.Get(key); ok {
+		return v
+	}
+	v := compute()
+	c.Put(key, v)
+	return v
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()
